@@ -1,0 +1,196 @@
+// §5 design-implication ablations:
+//   1. prioritizing locality: insist on strict locality for longer
+//   2. mitigating interference: dedicated servers for small jobs
+//   3. improving failure handling: adaptive retry policy
+//   4. catching failures early: the 1-GPU pre-run pool, run as an actual
+//      mechanism ("even running multi-GPU jobs on a single GPU will catch
+//      such errors before they run on larger shared clusters")
+//   5. predictive mitigation: online cross-job failure correlation
+
+#include "bench/bench_common.h"
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/failure/retry_policy.h"
+#include "src/sched/scheduler_config.h"
+
+namespace {
+
+using namespace philly;
+
+double FailedAttemptGpuHours(const SimulationResult& result) {
+  double gpu_seconds = 0.0;
+  for (const auto& job : result.jobs) {
+    for (const auto& attempt : job.attempts) {
+      if (attempt.failed && !attempt.preempted) {
+        gpu_seconds += attempt.GpuTime();
+      }
+    }
+  }
+  return gpu_seconds / 3600.0;
+}
+
+double MeanQueueMinutes(const SimulationResult& result) {
+  double sum = 0.0;
+  for (const auto& job : result.jobs) {
+    sum += ToMinutes(job.InitialQueueDelay());
+  }
+  return sum / static_cast<double>(result.jobs.size());
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("§5 ablations — design implications for future schedulers",
+              "waiting for locality trades queueing delay for utilization; "
+              "dedicated small-job servers remove interference at a "
+              "fragmentation cost; adaptive retries and single-GPU pre-runs "
+              "recover wasted GPU time");
+
+  ShapeChecker checker;
+
+  // 1 + 2: locality wait and dedicated placement.
+  std::printf("[1] locality-wait sweep / [2] dedicated small-job servers\n\n");
+  TextTable table({"variant", "mean queue (min)", "mean util (%)"});
+  double relax_now_util = 0.0;
+  double wait_long_util = 0.0;
+  double wait_long_queue = 0.0;
+  double relax_now_queue = 0.0;
+  double packed_util = 0.0;
+  double dedicated_util = 0.0;
+  double dedicated_queue = 0.0;
+  double migration_util = 0.0;
+  long long migrations = 0;
+  for (const char* variant :
+       {"philly (relax quickly)", "wait 6h for locality",
+        "dedicated small-job servers", "dedicated + migration defrag"}) {
+    ExperimentConfig config = BenchConfig();
+    const std::string name = variant;
+    if (name == "wait 6h for locality") {
+      config.simulation.scheduler.min_wait_before_relax = Hours(6);
+    } else if (name == "dedicated small-job servers") {
+      config.simulation.scheduler.placer.pack_small_jobs = false;
+    } else if (name == "dedicated + migration defrag") {
+      config.simulation.scheduler.placer.pack_small_jobs = false;
+      config.simulation.scheduler.enable_migration = true;
+    }
+    const ExperimentRun run = RunExperiment(config);
+    const double queue = MeanQueueMinutes(run.result);
+    const auto util_result = AnalyzeUtilization(run.result.jobs);
+    const double util = util_result.all.Mean();
+    // The population locality actually moves: 16-GPU jobs (they spread when
+    // relaxed, stay dedicated when the scheduler holds out).
+    const double util16 = util_result.MeanForSize(3);
+    table.AddRow({variant, FormatDouble(queue, 2), FormatDouble(util, 2)});
+    if (name == "philly (relax quickly)") {
+      relax_now_util = util16;
+      relax_now_queue = queue;
+      packed_util = util;
+    } else if (name == "wait 6h for locality") {
+      wait_long_util = util16;
+      wait_long_queue = queue;
+    } else if (name == "dedicated small-job servers") {
+      dedicated_util = util;
+      dedicated_queue = queue;
+    } else {
+      migration_util = util;
+      migrations = run.result.migrations;
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  checker.Check("waiting for locality raises 16-GPU utilization",
+                wait_long_util > relax_now_util,
+                FormatDouble(relax_now_util, 2) + " -> " +
+                    FormatDouble(wait_long_util, 2));
+  checker.Check("waiting for locality costs queueing delay",
+                wait_long_queue > relax_now_queue);
+  // The paper's own caveat: dedicated placement *without* defragmentation
+  // fragments the cluster and hurts large-job locality; migration support is
+  // the prerequisite (§5 "mitigating interference").
+  checker.Check("dedicated placement alone fragments (utilization drops)",
+                dedicated_util < packed_util,
+                FormatDouble(packed_util, 2) + " -> " +
+                    FormatDouble(dedicated_util, 2));
+  checker.Check("dedicated small-job servers increase queueing",
+                dedicated_queue > relax_now_queue);
+  checker.Check("migration defrag recovers utilization lost to fragmentation",
+                migration_util > dedicated_util,
+                FormatDouble(dedicated_util, 2) + " -> " +
+                    FormatDouble(migration_util, 2) + " (" +
+                    std::to_string(migrations) + " migrations)");
+
+  // 3: adaptive retry.
+  std::printf("[3] adaptive retry policy\n\n");
+  ExperimentConfig fixed_config = BenchConfig();
+  const ExperimentRun fixed_run = RunExperiment(fixed_config);
+  ExperimentConfig adaptive_config = BenchConfig();
+  adaptive_config.simulation.scheduler.adaptive_retry = true;
+  const ExperimentRun adaptive_run = RunExperiment(adaptive_config);
+  const double fixed_waste = FailedAttemptGpuHours(fixed_run.result);
+  const double adaptive_waste = FailedAttemptGpuHours(adaptive_run.result);
+  std::printf("GPU-hours in failing attempts: fixed %.0f -> adaptive %.0f "
+              "(%.1f%% saved)\n\n",
+              fixed_waste, adaptive_waste,
+              100.0 * (1.0 - adaptive_waste / fixed_waste));
+  checker.Check("adaptive retry reduces GPU time burned by failures",
+                adaptive_waste < fixed_waste * 0.95);
+
+  // 4: 1-GPU pre-run pool, as an actual mechanism: multi-GPU jobs run briefly
+  // on one pool GPU first; failures whose first iterations crash are caught
+  // there instead of at gang scale.
+  std::printf("[4] single-GPU pre-run pool for multi-GPU jobs\n\n");
+  ExperimentConfig prerun_config = BenchConfig();
+  prerun_config.simulation.scheduler.enable_prerun_pool = true;
+  const ExperimentRun prerun_run = RunExperiment(prerun_config);
+  const auto multi_gpu_gang_failures = [](const SimulationResult& result) {
+    double gpu_seconds = 0.0;
+    for (const auto& job : result.jobs) {
+      if (job.spec.num_gpus <= 1) {
+        continue;
+      }
+      for (const auto& attempt : job.attempts) {
+        if (attempt.failed && !attempt.prerun && !attempt.preempted) {
+          gpu_seconds += attempt.GpuTime();
+        }
+      }
+    }
+    return gpu_seconds / 3600.0;
+  };
+  const double base_gang_waste = multi_gpu_gang_failures(fixed_run.result);
+  const double pool_gang_waste = multi_gpu_gang_failures(prerun_run.result);
+  const double pool_cost = prerun_run.result.prerun_gpu_seconds / 3600.0;
+  const double savings = base_gang_waste - pool_gang_waste;
+  std::printf("multi-GPU gang-scale failure GPU-hours: baseline %.0f -> with "
+              "pool %.0f (saved %.0f); pool consumed %.0f GPU-h across %lld "
+              "pre-runs (%lld failures caught at 1-GPU cost)\n",
+              base_gang_waste, pool_gang_waste, savings, pool_cost,
+              static_cast<long long>(prerun_run.result.prerun_jobs),
+              static_cast<long long>(prerun_run.result.prerun_catches));
+  // The paper proposes a pool of *cheaper* VMs: the mechanism pays off when a
+  // pool GPU-hour costs less than (savings / pool time) of a cluster
+  // GPU-hour. Catchable failures are the short ones (which is also why the
+  // big win is in retries, items 3 and 5).
+  std::printf("breakeven: pool pays off if its GPU-hour costs < %.2fx a cluster "
+              "GPU-hour\n\n",
+              pool_cost > 0 ? savings / pool_cost : 0.0);
+  checker.Check("pre-run pool catches failures before gang scheduling",
+                prerun_run.result.prerun_catches > 0);
+  checker.Check("pre-run pool removes gang-scale failure GPU time",
+                savings > 0, FormatDouble(savings, 0) + " GPU-h");
+
+  // 5: predictive mitigation — online (user, reason) correlation stops
+  // retrying error patterns that repeat across a user's jobs.
+  std::printf("[5] predictive failure mitigation (cross-job correlation)\n\n");
+  ExperimentConfig predictive_config = BenchConfig();
+  predictive_config.simulation.scheduler.retry_policy =
+      SchedulerConfig::RetryPolicyKind::kPredictive;
+  const ExperimentRun predictive_run = RunExperiment(predictive_config);
+  const double predictive_waste = FailedAttemptGpuHours(predictive_run.result);
+  std::printf("GPU-hours in failing attempts: fixed %.0f -> predictive %.0f "
+              "(%.1f%% saved without any per-reason policy table)\n",
+              fixed_waste, predictive_waste,
+              100.0 * (1.0 - predictive_waste / fixed_waste));
+  checker.Check("predictive mitigation reduces failure GPU time",
+                predictive_waste < fixed_waste);
+  return FinishBench(checker);
+}

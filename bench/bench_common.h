@@ -1,0 +1,65 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench regenerates one table or figure of the paper: it runs the
+// default experiment (or its own variant), prints paper-vs-measured rows, and
+// evaluates the shape checks from DESIGN.md's per-experiment index. Benches
+// always exit 0 so `for b in build/bench/*; do $b; done` runs the full suite;
+// failed shape checks are printed prominently and recorded in EXPERIMENTS.md.
+//
+// Environment knobs:
+//   PHILLY_BENCH_DAYS  arrival-window length in days (default 30)
+//   PHILLY_BENCH_SEED  experiment seed (default 42)
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/analysis.h"
+#include "src/core/experiment.h"
+#include "src/core/report.h"
+
+namespace philly {
+
+inline int BenchDays() {
+  const char* env = std::getenv("PHILLY_BENCH_DAYS");
+  return env != nullptr ? std::atoi(env) : 30;
+}
+
+inline uint64_t BenchSeed() {
+  const char* env = std::getenv("PHILLY_BENCH_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 42;
+}
+
+inline ExperimentConfig BenchConfig() {
+  return ExperimentConfig::BenchScale(BenchDays(), BenchSeed());
+}
+
+// Runs the default experiment once per process (benches are separate
+// binaries, so there is no cross-bench sharing to exploit).
+inline const ExperimentRun& DefaultRun() {
+  static const ExperimentRun run = RunExperiment(BenchConfig());
+  return run;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("================================================================\n");
+}
+
+// Prints the checker outcome; always returns 0 (see file comment).
+inline int FinishBench(const ShapeChecker& checker) {
+  std::printf("\n%s", checker.Render().c_str());
+  if (!checker.AllPassed()) {
+    std::printf("*** SHAPE CHECK FAILURES — see EXPERIMENTS.md for discussion\n");
+  }
+  return 0;
+}
+
+}  // namespace philly
+
+#endif  // BENCH_BENCH_COMMON_H_

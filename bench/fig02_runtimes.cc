@@ -1,0 +1,46 @@
+// Figure 2: CDF of job run times for 1 / 2-4 / 5-8 / >8 GPU jobs.
+
+#include "bench/bench_common.h"
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace philly;
+  PrintHeader("Figure 2 — CDF of job run times by GPU count",
+              "run times span minutes to weeks; jobs with more GPUs run longer; "
+              "~0.5% of jobs run for more than a week");
+
+  const auto& run = DefaultRun();
+  const RunTimeResult result = AnalyzeRunTimes(run.result.jobs);
+
+  TextTable table({"bucket", "n", "P(<=1min)", "P(<=10min)", "P(<=1h)", "P(<=1d)",
+                   "P(<=1w)", "median (min)"});
+  for (int b = 0; b < kNumSizeBuckets; ++b) {
+    const auto& hist = result.cdf_minutes[static_cast<size_t>(b)];
+    table.AddRow({std::string(ToString(static_cast<SizeBucket>(b))),
+                  FormatDouble(hist.Count(), 0), FormatPercent(hist.CdfAt(1.0), 1),
+                  FormatPercent(hist.CdfAt(10.0), 1), FormatPercent(hist.CdfAt(60.0), 1),
+                  FormatPercent(hist.CdfAt(1440.0), 1),
+                  FormatPercent(hist.CdfAt(10080.0), 1),
+                  FormatDouble(hist.Median(), 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("fraction of jobs running > 1 week: %s (paper: ~0.5%%)\n",
+              FormatPercent(result.fraction_over_one_week, 2).c_str());
+
+  ShapeChecker checker;
+  for (int b = 1; b < kNumSizeBuckets; ++b) {
+    checker.Check(
+        "median run time increases with bucket " + std::to_string(b),
+        result.cdf_minutes[static_cast<size_t>(b - 1)].Median() <
+            result.cdf_minutes[static_cast<size_t>(b)].Median());
+  }
+  checker.CheckBand("fraction over one week", result.fraction_over_one_week, 0.001,
+                    0.03);
+  checker.Check("span reaches sub-10-minute jobs",
+                result.cdf_minutes[0].CdfAt(10.0) > 0.2);
+  checker.Check("span reaches multi-day jobs",
+                result.cdf_minutes[3].Quantile(0.95) > 1440.0);
+  return FinishBench(checker);
+}

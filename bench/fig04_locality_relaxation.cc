@@ -1,0 +1,75 @@
+// Figure 4: queueing delay vs. number of servers the job landed on, for 5-8
+// GPU and >8 GPU jobs — relaxing locality starts jobs sooner.
+
+#include "bench/bench_common.h"
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace philly;
+  PrintHeader("Figure 4 — relaxing locality reduces queueing delay",
+              "5-8 GPU jobs land on 1-2 servers; >8 GPU jobs spread over 2-16 "
+              "servers, and those placed on many servers started sooner");
+
+  const auto& run = DefaultRun();
+  const LocalityDelayResult result = AnalyzeLocalityDelay(run.result.jobs);
+
+  const auto print_group = [](const char* name,
+                              const std::vector<LocalityDelayResult::Cell>& cells) {
+    std::printf("%s jobs:\n", name);
+    TextTable table({"servers", "jobs", "mean delay (min)", "p50", "p90"});
+    for (const auto& cell : cells) {
+      table.AddRow({std::to_string(cell.num_servers), std::to_string(cell.count),
+                    FormatDouble(cell.delay_minutes.mean, 2),
+                    FormatDouble(cell.delay_minutes.p50, 2),
+                    FormatDouble(cell.delay_minutes.p90, 2)});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  };
+  print_group("5-8 GPU", result.five_to_eight);
+  print_group(">8 GPU", result.gt_eight);
+
+  ShapeChecker checker;
+  // 5-8 GPU jobs overwhelmingly land on 1-2 servers.
+  double tight = 0;
+  double total = 0;
+  for (const auto& cell : result.five_to_eight) {
+    total += cell.count;
+    if (cell.num_servers <= 2) {
+      tight += cell.count;
+    }
+  }
+  // The paper's figure shows ~90% of 5-8 GPU jobs on 1-2 servers; under our
+  // somewhat deeper sustained saturation a bit more relaxation occurs.
+  checker.Check("5-8 GPU jobs mostly on 1-2 servers (>=75%)",
+                total > 0 && tight / total >= 0.75,
+                FormatPercent(total > 0 ? tight / total : 0, 1));
+  // >8 GPU spread range.
+  checker.Check(">8 GPU jobs observed on 2 servers",
+                !result.gt_eight.empty() && result.gt_eight.front().num_servers == 2);
+  checker.Check(">8 GPU jobs spread up to many servers",
+                !result.gt_eight.empty() && result.gt_eight.back().num_servers >= 8);
+  // The paper's causal claim — relaxing locality lets jobs start sooner — is
+  // checked against the counterfactual: the same workload with relaxation
+  // disabled (jobs must wait for their strict-locality placement).
+  ExperimentConfig strict = BenchConfig();
+  strict.simulation.scheduler.max_relax_level = 1;  // stay within one domain
+  strict.simulation.scheduler.min_wait_before_relax = Hours(2);
+  const ExperimentRun strict_run = RunExperiment(strict);
+  const QueueDelayResult relaxed_delays = AnalyzeQueueDelays(run.result.jobs);
+  const QueueDelayResult strict_delays = AnalyzeQueueDelays(strict_run.result.jobs);
+  // Compare on the mean (delays concentrate in burst episodes, so fixed
+  // quantiles below the episode mass are noise).
+  const double relaxed_mean = relaxed_delays.overall[3].Mean();
+  const double strict_mean = strict_delays.overall[3].Mean();
+  std::printf("counterfactual: >8-GPU mean delay with relaxation %.1f min, with "
+              "strict locality %.1f min (p99: %.0f vs %.0f)\n",
+              relaxed_mean, strict_mean, relaxed_delays.overall[3].Quantile(0.99),
+              strict_delays.overall[3].Quantile(0.99));
+  checker.Check("relaxing locality reduces >8-GPU queueing delay vs strict",
+                relaxed_mean < strict_mean,
+                "mean relaxed=" + FormatDouble(relaxed_mean, 1) + "min strict=" +
+                    FormatDouble(strict_mean, 1) + "min");
+  return FinishBench(checker);
+}

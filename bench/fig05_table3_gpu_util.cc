@@ -1,0 +1,85 @@
+// Figure 5 + Table 3: per-minute GPU utilization of in-use GPUs, by final
+// status and representative job size.
+
+#include "bench/bench_common.h"
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace philly;
+  PrintHeader("Figure 5 / Table 3 — GPU utilization by status and size",
+              "overall mean ~52%; 16-GPU jobs lowest (~40%); Table 3 means: "
+              "1GPU 52.4, 4GPU 45.2, 8GPU 59.0, 16GPU 40.4 (All); "
+              "Passed/Killed/Unsuccessful = 52.4/43.0/60.4");
+
+  const auto& run = DefaultRun();
+  const UtilizationResult result = AnalyzeUtilization(run.result.jobs);
+
+  constexpr double kPaperAllBySize[] = {52.38, 45.18, 58.99, 40.39};
+  TextTable table({"job size", "Passed", "Killed", "Unsuccessful", "All",
+                   "paper (All)"});
+  for (int i = 0; i < UtilizationResult::kNumRepresentative; ++i) {
+    table.AddRow({std::to_string(kRepresentativeSizes[i]) + " GPU",
+                  FormatDouble(result.MeanFor(JobStatus::kPassed, i), 2),
+                  FormatDouble(result.MeanFor(JobStatus::kKilled, i), 2),
+                  FormatDouble(result.MeanFor(JobStatus::kUnsuccessful, i), 2),
+                  FormatDouble(result.MeanForSize(i), 2),
+                  FormatDouble(kPaperAllBySize[i], 2)});
+  }
+  table.AddRule();
+  table.AddRow({"All", "-", "-", "-", FormatDouble(result.all.Mean(), 2), "52.32"});
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("CDF probes (All):\n");
+  for (int i = 0; i < UtilizationResult::kNumRepresentative; ++i) {
+    std::printf("  %2d GPU: %s\n", kRepresentativeSizes[i],
+                RenderCdfProbes(result.by_size[static_cast<size_t>(i)],
+                                {20.0, 40.0, 60.0, 80.0}, "%")
+                    .c_str());
+  }
+
+  ShapeChecker checker;
+  checker.CheckBand("overall mean utilization (paper 52.3%)", result.all.Mean(),
+                    40.0, 62.0);
+  checker.Check("16-GPU jobs have the lowest mean utilization",
+                result.MeanForSize(3) < result.MeanForSize(0) &&
+                    result.MeanForSize(3) < result.MeanForSize(1) &&
+                    result.MeanForSize(3) < result.MeanForSize(2),
+                "16GPU=" + FormatDouble(result.MeanForSize(3), 1));
+  checker.Check("8-GPU (whole dedicated server) beats 4-GPU (colocated)",
+                result.MeanForSize(2) > result.MeanForSize(1));
+  checker.Check("half of in-use GPU cycles are wasted (mean well below 100%)",
+                result.all.Mean() < 65.0);
+  checker.Check("utilization CDFs are broad (p10 < 35% < p90 for 1-GPU jobs)",
+                result.by_size[0].Quantile(0.1) < 35.0 &&
+                    result.by_size[0].Quantile(0.9) > 35.0);
+  // By-status ordering across all sizes pooled (paper row "All":
+  // Unsuccessful 60.4 > Passed 52.4 > Killed 43.0).
+  double passed_w = 0.0;
+  double killed_w = 0.0;
+  double unsuccessful_w = 0.0;
+  double passed_n = 0.0;
+  double killed_n = 0.0;
+  double unsuccessful_n = 0.0;
+  for (int i = 0; i < UtilizationResult::kNumRepresentative; ++i) {
+    const auto add = [&](JobStatus status, double& w, double& n) {
+      const auto& hist =
+          result.by_status_size[static_cast<size_t>(status)][static_cast<size_t>(i)];
+      w += hist.Mean() * hist.Count();
+      n += hist.Count();
+    };
+    add(JobStatus::kPassed, passed_w, passed_n);
+    add(JobStatus::kKilled, killed_w, killed_n);
+    add(JobStatus::kUnsuccessful, unsuccessful_w, unsuccessful_n);
+  }
+  const double passed_mean = passed_w / passed_n;
+  const double killed_mean = killed_w / killed_n;
+  const double unsuccessful_mean = unsuccessful_w / unsuccessful_n;
+  checker.Check("by-status ordering: Unsuccessful > Passed > Killed",
+                unsuccessful_mean > passed_mean && passed_mean > killed_mean,
+                "U=" + FormatDouble(unsuccessful_mean, 1) + " P=" +
+                    FormatDouble(passed_mean, 1) + " K=" +
+                    FormatDouble(killed_mean, 1));
+  return FinishBench(checker);
+}

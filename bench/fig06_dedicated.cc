@@ -1,0 +1,41 @@
+// Figure 6: utilization of 8-GPU jobs (one dedicated server) vs 16-GPU jobs
+// (two dedicated servers) — the cost of crossing the server boundary.
+
+#include "bench/bench_common.h"
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace philly;
+  PrintHeader("Figure 6 — distributed training on dedicated servers",
+              "8-GPU jobs: mean 56.9%, median 73.1%; 16-GPU jobs on two servers: "
+              "mean 34.3%; median ratio ~1.67x");
+
+  const auto& run = DefaultRun();
+  const UtilizationResult result = AnalyzeUtilization(run.result.jobs);
+
+  const Summary s8 = Summarize(result.dedicated_8gpu);
+  const Summary s16 = Summarize(result.dedicated_16gpu);
+  TextTable table({"population", "gpu-min", "mean", "p50", "p90", "paper mean"});
+  table.AddRow({"8 GPU, 1 server", FormatDouble(s8.count, 0), FormatDouble(s8.mean, 1),
+                FormatDouble(s8.p50, 1), FormatDouble(s8.p90, 1), "56.9"});
+  table.AddRow({"16 GPU, 2 servers", FormatDouble(s16.count, 0),
+                FormatDouble(s16.mean, 1), FormatDouble(s16.p50, 1),
+                FormatDouble(s16.p90, 1), "34.3 (43.7 in Table 5)"});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("median ratio 8GPU/16GPU: %.2fx (paper: 1.67x)\n",
+              s16.p50 > 0 ? s8.p50 / s16.p50 : 0.0);
+
+  ShapeChecker checker;
+  checker.Check("both populations observed", s8.count > 0 && s16.count > 0);
+  checker.Check("8-GPU dedicated beats 16-GPU two-server mean",
+                s8.mean > s16.mean + 4.0,
+                "8GPU=" + FormatDouble(s8.mean, 1) + " 16GPU=" +
+                    FormatDouble(s16.mean, 1));
+  checker.CheckBand("8-GPU dedicated mean (paper 56.9)", s8.mean, 45.0, 68.0);
+  checker.CheckBand("16-GPU two-server mean (paper 34.3-43.7)", s16.mean, 30.0, 55.0);
+  checker.Check("median ratio exceeds 1.1x", s16.p50 > 0 && s8.p50 / s16.p50 > 1.1,
+                FormatDouble(s16.p50 > 0 ? s8.p50 / s16.p50 : 0, 2) + "x");
+  return FinishBench(checker);
+}

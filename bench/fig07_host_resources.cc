@@ -1,0 +1,46 @@
+// Figure 7: host CPU and memory utilization — CPUs idle, memory busy.
+
+#include "bench/bench_common.h"
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace philly;
+  PrintHeader("Figure 7 — host resource utilization",
+              "servers generally underutilize CPU cycles yet highly utilize "
+              "memory (input caching, model aggregation, validation)");
+
+  const auto& run = DefaultRun();
+  const HostResourceResult result = AnalyzeHostResources(run.result.jobs);
+
+  TextTable table({"resource", "mean", "p25", "p50", "p75", "p90"});
+  const auto add = [&table](const char* name, const StreamingHistogram& hist) {
+    table.AddRow({name, FormatDouble(hist.Mean(), 1),
+                  FormatDouble(hist.Quantile(0.25), 1),
+                  FormatDouble(hist.Quantile(0.50), 1),
+                  FormatDouble(hist.Quantile(0.75), 1),
+                  FormatDouble(hist.Quantile(0.90), 1)});
+  };
+  add("CPU (%)", result.cpu_util);
+  add("Memory (%)", result.memory_util);
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("CPU:    %s\n",
+              RenderCdfProbes(result.cpu_util, {20.0, 40.0, 60.0, 80.0}, "%").c_str());
+  std::printf("Memory: %s\n",
+              RenderCdfProbes(result.memory_util, {20.0, 40.0, 60.0, 80.0}, "%")
+                  .c_str());
+
+  ShapeChecker checker;
+  checker.Check("CPU underutilized (mean < 45%)", result.cpu_util.Mean() < 45.0,
+                FormatDouble(result.cpu_util.Mean(), 1));
+  checker.Check("memory highly utilized (mean > 65%)",
+                result.memory_util.Mean() > 65.0,
+                FormatDouble(result.memory_util.Mean(), 1));
+  checker.Check("memory median far above CPU median",
+                result.memory_util.Median() > result.cpu_util.Median() + 25.0);
+  checker.Check("most time has CPU below 60%", result.cpu_util.CdfAt(60.0) > 0.8);
+  checker.Check("most time has memory above 60%",
+                result.memory_util.CdfAt(60.0) < 0.35);
+  return FinishBench(checker);
+}

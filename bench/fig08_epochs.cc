@@ -1,0 +1,53 @@
+// Figure 8: fraction of executed epochs needed to reach the lowest training
+// loss / within 0.1% of it, for passed and killed jobs (§4.1).
+
+#include "bench/bench_common.h"
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace philly;
+  PrintHeader("Figure 8 — effectiveness of training iterations",
+              "~80% of passed jobs need all epochs for the lowest loss, but ~75% "
+              "come within 0.1% of it using only 40% of the epochs; improving "
+              "the final 0.1% costs 62% (passed) / 56% (killed) of GPU time");
+
+  const auto& run = DefaultRun();
+  const ConvergenceResult result = AnalyzeConvergence(run.result.jobs);
+  std::printf("jobs with convergence info: %lld (paper: 2502 of 96260)\n\n",
+              static_cast<long long>(result.jobs_with_convergence_info));
+
+  TextTable table({"population", "P(frac<=0.2)", "P(frac<=0.4)", "P(frac<=0.6)",
+                   "P(frac<=0.98)", "mean"});
+  const auto add = [&table](const char* name, const StreamingHistogram& hist) {
+    table.AddRow({name, FormatPercent(hist.CdfAt(0.2), 1),
+                  FormatPercent(hist.CdfAt(0.4), 1), FormatPercent(hist.CdfAt(0.6), 1),
+                  FormatPercent(hist.CdfAt(0.98), 1), FormatDouble(hist.Mean(), 3)});
+  };
+  add("passed: lowest loss", result.passed_lowest);
+  add("passed: within 0.1%", result.passed_within);
+  add("killed: lowest loss", result.killed_lowest);
+  add("killed: within 0.1%", result.killed_within);
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("GPU time spent improving the last 0.1%%: passed %s (paper 62%%), "
+              "killed %s (paper 56%%)\n",
+              FormatPercent(result.passed_gpu_time_for_last_tenth_pct, 1).c_str(),
+              FormatPercent(result.killed_gpu_time_for_last_tenth_pct, 1).c_str());
+
+  ShapeChecker checker;
+  checker.Check("enough convergence-logging jobs",
+                result.jobs_with_convergence_info > 50);
+  checker.CheckBand("passed jobs needing ~all epochs for the minimum (paper ~80%)",
+                    1.0 - result.passed_lowest.CdfAt(0.98), 0.55, 0.95);
+  checker.CheckBand("passed jobs within 0.1% by 40% of epochs (paper ~75%)",
+                    result.passed_within.CdfAt(0.4), 0.45, 0.90);
+  checker.Check("killed jobs show the same pattern",
+                1.0 - result.killed_lowest.CdfAt(0.98) > 0.45 &&
+                    result.killed_within.CdfAt(0.6) > 0.50);
+  checker.CheckBand("passed GPU time for last 0.1% (paper 62%)",
+                    result.passed_gpu_time_for_last_tenth_pct, 0.40, 0.80);
+  checker.CheckBand("killed GPU time for last 0.1% (paper 56%)",
+                    result.killed_gpu_time_for_last_tenth_pct, 0.35, 0.80);
+  return FinishBench(checker);
+}

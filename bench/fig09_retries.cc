@@ -1,0 +1,46 @@
+// Figure 9: average retries and unsuccessful-job rate by GPU-count bucket.
+
+#include "bench/bench_common.h"
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace philly;
+  PrintHeader("Figure 9 — retries and unsuccessful rate by job size",
+              "jobs using more than 4 GPUs retry more often and finish "
+              "unsuccessful at a higher rate");
+
+  const auto& run = DefaultRun();
+  const FailureAnalysisResult result = AnalyzeFailures(run.result.jobs);
+
+  TextTable table({"bucket", "mean retries", "unsuccessful rate"});
+  for (int b = 0; b < kNumSizeBuckets; ++b) {
+    table.AddRow({std::string(ToString(static_cast<SizeBucket>(b))),
+                  FormatDouble(result.mean_retries_by_bucket[static_cast<size_t>(b)], 3),
+                  FormatPercent(
+                      result.unsuccessful_rate_by_bucket[static_cast<size_t>(b)], 1)});
+  }
+  table.AddRule();
+  table.AddRow({"All", FormatDouble(result.mean_retries_all, 3),
+                FormatPercent(result.unsuccessful_rate_all, 1)});
+  std::printf("%s\n", table.Render().c_str());
+
+  ShapeChecker checker;
+  checker.Check("retries increase monotonically with bucket",
+                result.mean_retries_by_bucket[0] < result.mean_retries_by_bucket[1] &&
+                    result.mean_retries_by_bucket[1] <
+                        result.mean_retries_by_bucket[2] &&
+                    result.mean_retries_by_bucket[2] <
+                        result.mean_retries_by_bucket[3]);
+  checker.Check("unsuccessful rate increases with bucket",
+                result.unsuccessful_rate_by_bucket[0] <
+                        result.unsuccessful_rate_by_bucket[2] &&
+                    result.unsuccessful_rate_by_bucket[2] <
+                        result.unsuccessful_rate_by_bucket[3]);
+  checker.CheckBand("overall unsuccessful rate (paper 17.2%)",
+                    result.unsuccessful_rate_all, 0.10, 0.25);
+  checker.CheckBand(">8-GPU unsuccessful rate (paper ~35-45%)",
+                    result.unsuccessful_rate_by_bucket[3], 0.20, 0.55);
+  return FinishBench(checker);
+}

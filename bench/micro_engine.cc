@@ -1,0 +1,169 @@
+// Microbenchmarks for the simulation substrate (google-benchmark): event
+// queue throughput, placement search, utilization-model evaluation, failure
+// classification, and end-to-end simulation rate.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/failure/failure_logs.h"
+#include "src/sched/placement.h"
+#include "src/core/analysis.h"
+#include "src/sched/simulation.h"
+#include "src/trace/philly_format.h"
+#include "src/sim/simulator.h"
+#include "src/telemetry/util_model.h"
+#include "src/workload/model_zoo.h"
+
+namespace philly {
+namespace {
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    Rng rng(7);
+    for (int i = 0; i < n; ++i) {
+      sim.ScheduleAt(static_cast<SimTime>(rng.Below(1000000)), [] {});
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(sim.ProcessedCount());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  StreamingHistogram hist(0.0, 100.0, 200);
+  Rng rng(3);
+  for (auto _ : state) {
+    hist.Add(rng.Uniform(0, 100));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_PlacementSearch(benchmark::State& state) {
+  Cluster cluster(ClusterConfig::PaperScale());
+  LocalityPlacer placer;
+  Rng rng(5);
+  // Bring the cluster to ~80% occupancy with random small jobs.
+  JobId next = 1;
+  while (cluster.Occupancy() < 0.8) {
+    const int gpus = static_cast<int>(rng.Between(1, 8));
+    const auto placement = placer.FindPlacement(cluster, gpus, 3);
+    if (!placement.has_value()) {
+      break;
+    }
+    cluster.Allocate(next++, *placement);
+  }
+  const int gpus = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placer.FindPlacement(cluster, gpus, 2));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlacementSearch)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_UtilizationModel(benchmark::State& state) {
+  UtilizationModel model;
+  Cluster cluster(ClusterConfig::Small());
+  JobSpec job;
+  job.id = 1;
+  job.num_gpus = 16;
+  job.base_utilization = 0.6;
+  Placement placement;
+  placement.shards = {{0, 8}, {1, 8}};
+  cluster.Allocate(1, placement);
+  const auto activity_of = [](JobId) { return JobActivity{0.6, 1.0, 8, 1}; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.ExpectedUtilization(job, placement, cluster, activity_of));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UtilizationModel);
+
+void BM_FailureClassification(benchmark::State& state) {
+  FailureLogSynthesizer synthesizer;
+  FailureClassifier classifier;
+  Rng rng(11);
+  std::vector<std::vector<std::string>> samples;
+  for (int r = 0; r < kNumFailureReasons; ++r) {
+    samples.push_back(synthesizer.LinesFor(static_cast<FailureReason>(r), rng));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.Classify(samples[i++ % samples.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailureClassification);
+
+void BM_AnalyzeUtilization(benchmark::State& state) {
+  WorkloadConfig workload = WorkloadConfig::Scaled(2, 5);
+  SimulationConfig config;
+  config.vcs = workload.vcs;
+  ClusterSimulation sim(config, WorkloadGenerator(workload).Generate());
+  const SimulationResult result = sim.Run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzeUtilization(result.jobs).all.Mean());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(result.jobs.size()));
+}
+BENCHMARK(BM_AnalyzeUtilization)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeFailures(benchmark::State& state) {
+  WorkloadConfig workload = WorkloadConfig::Scaled(2, 5);
+  SimulationConfig config;
+  config.vcs = workload.vcs;
+  ClusterSimulation sim(config, WorkloadGenerator(workload).Generate());
+  const SimulationResult result = sim.Run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnalyzeFailures(result.jobs).total_trials);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(result.jobs.size()));
+}
+BENCHMARK(BM_AnalyzeFailures)->Unit(benchmark::kMillisecond);
+
+void BM_TraceExportImport(benchmark::State& state) {
+  WorkloadConfig workload = WorkloadConfig::Scaled(1, 5);
+  SimulationConfig config;
+  config.vcs = workload.vcs;
+  ClusterSimulation sim(config, WorkloadGenerator(workload).Generate());
+  const SimulationResult result = sim.Run();
+  PhillyTracesExporter exporter(config.cluster);
+  for (auto _ : state) {
+    std::ostringstream out;
+    exporter.WriteJobLog(result.jobs, out);
+    PhillyTracesImporter importer;
+    benchmark::DoNotOptimize(importer.ImportJobLog(out.str()).size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(result.jobs.size()));
+}
+BENCHMARK(BM_TraceExportImport)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  const int days = static_cast<int>(state.range(0));
+  WorkloadConfig workload = WorkloadConfig::Scaled(days, 3);
+  const auto jobs = WorkloadGenerator(workload).Generate();
+  for (auto _ : state) {
+    SimulationConfig config;
+    config.vcs = workload.vcs;
+    ClusterSimulation sim(config, jobs);
+    benchmark::DoNotOptimize(sim.Run().jobs.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(jobs.size()));
+  state.SetLabel(std::to_string(jobs.size()) + " jobs");
+}
+BENCHMARK(BM_EndToEndSimulation)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace philly
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Table 1 (made quantitative): Philly vs the DNN cluster schedulers the paper
+// compares against — Gandiva (time-sharing), Optimus (SRTF on remaining
+// time), Tiresias (least attained service) — plus a strict-FIFO baseline,
+// on one identical workload.
+
+#include "bench/bench_common.h"
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+namespace {
+
+struct Metrics {
+  double mean_queue_min = 0.0;
+  double p90_queue_min = 0.0;
+  double mean_jct_hours = 0.0;
+  double short_jct_hours = 0.0;  // jobs planned under 1 hour
+  long long preemptions = 0;
+  long long checkpoint_suspends = 0;
+};
+
+Metrics Evaluate(const philly::SimulationResult& result) {
+  using namespace philly;
+  Metrics m;
+  double queue_sum = 0.0;
+  std::vector<double> queues;
+  double jct_sum = 0.0;
+  int64_t jct_n = 0;
+  double short_sum = 0.0;
+  int64_t short_n = 0;
+  for (const auto& job : result.jobs) {
+    const double delay = ToMinutes(job.InitialQueueDelay());
+    queue_sum += delay;
+    queues.push_back(delay);
+    if (job.status == JobStatus::kPassed) {
+      const double jct = ToHours(job.finish_time - job.spec.submit_time);
+      jct_sum += jct;
+      ++jct_n;
+      if (job.spec.planned_duration <= Hours(1)) {
+        short_sum += jct;
+        ++short_n;
+      }
+    }
+  }
+  m.mean_queue_min = queue_sum / static_cast<double>(result.jobs.size());
+  m.p90_queue_min = Percentile(queues, 0.9);
+  m.mean_jct_hours = jct_n > 0 ? jct_sum / static_cast<double>(jct_n) : 0.0;
+  m.short_jct_hours = short_n > 0 ? short_sum / static_cast<double>(short_n) : 0.0;
+  m.preemptions = result.preemptions;
+  m.checkpoint_suspends = result.priority_preemptions;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace philly;
+  PrintHeader("Table 1 — DNN cluster scheduler comparison",
+              "Philly consolidates with locality; Gandiva time-shares; Optimus "
+              "and Tiresias target average JCT (SRTF / attained service). The "
+              "JCT-oriented policies should finish short jobs faster.");
+
+  const std::vector<SchedulerConfig> schedulers = {
+      SchedulerConfig::Philly(), SchedulerConfig::Fifo(), SchedulerConfig::Optimus(),
+      SchedulerConfig::Tiresias(), SchedulerConfig::Gandiva()};
+
+  TextTable table({"scheduler", "mean queue (min)", "p90 queue (min)",
+                   "mean JCT (h)", "short-job JCT (h)", "preempt", "ckpt-suspend"});
+  Metrics philly_m;
+  Metrics optimus_m;
+  Metrics tiresias_m;
+  for (const auto& sched : schedulers) {
+    ExperimentConfig config = BenchConfig();
+    config.simulation.scheduler = sched;
+    const ExperimentRun run = RunExperiment(config);
+    const Metrics m = Evaluate(run.result);
+    if (sched.name == "philly") {
+      philly_m = m;
+    } else if (sched.name == "optimus-srtf") {
+      optimus_m = m;
+    } else if (sched.name == "tiresias-las") {
+      tiresias_m = m;
+    }
+    table.AddRow({sched.name, FormatDouble(m.mean_queue_min, 3),
+                  FormatDouble(m.p90_queue_min, 3), FormatDouble(m.mean_jct_hours, 2),
+                  FormatDouble(m.short_jct_hours, 3), std::to_string(m.preemptions),
+                  std::to_string(m.checkpoint_suspends)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  ShapeChecker checker;
+  checker.Check("SRTF favours short jobs at least as much as Philly",
+                optimus_m.short_jct_hours <= philly_m.short_jct_hours + 0.02,
+                "short-job JCT: srtf=" + FormatDouble(optimus_m.short_jct_hours, 3) +
+                    "h philly=" + FormatDouble(philly_m.short_jct_hours, 3) + "h");
+  checker.Check("LAS favours short jobs at least as much as Philly",
+                tiresias_m.short_jct_hours <= philly_m.short_jct_hours + 0.02);
+  checker.Check("all schedulers complete the workload",
+                philly_m.mean_jct_hours > 0 && optimus_m.mean_jct_hours > 0 &&
+                    tiresias_m.mean_jct_hours > 0);
+  return FinishBench(checker);
+}

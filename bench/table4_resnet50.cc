@@ -1,0 +1,114 @@
+// Table 4: the controlled ResNet-50 locality/colocation experiment. Replays
+// the four placement scenarios through the utilization model and compares
+// against the paper's measurements (these are the model's calibration
+// points, reproduced end-to-end through the public API on a real Cluster).
+
+#include "bench/bench_common.h"
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/telemetry/controlled.h"
+#include "src/workload/model_zoo.h"
+
+namespace {
+
+using namespace philly;
+
+// The experiment testbed: two servers with 4 P100s each (one socket).
+ClusterConfig TestbedConfig() {
+  ClusterConfig config;
+  config.skus.push_back({1, 2, 4});
+  return config;
+}
+
+JobSpec ResNetJob(JobId id, int gpus, int batch = 32) {
+  JobSpec job;
+  job.id = id;
+  job.num_gpus = gpus;
+  job.model = ModelFamily::kResNet;
+  job.batch_size = batch;
+  job.base_utilization = ProfileOf(ModelFamily::kResNet).base_util_mean *
+                         BatchUtilizationScale(batch, 32);
+  return job;
+}
+
+struct Scenario {
+  const char* name;
+  double paper_util;
+  double paper_images;
+};
+
+double Measure(const char* scenario, double* images_out) {
+  ControlledExperiment experiment(TestbedConfig());
+  const std::string name = scenario;
+
+  Placement study_placement;
+  if (name == "SameServer") {
+    study_placement.shards = {{0, 2}};
+  } else {
+    study_placement.shards = {{0, 1}, {1, 1}};
+  }
+  bool ok = experiment.Place(ResNetJob(1, 2), study_placement, /*study=*/true);
+
+  if (name == "IntraServer") {
+    // One SameServer 2-GPU background job per server.
+    Placement bg0;
+    bg0.shards = {{0, 2}};
+    Placement bg1;
+    bg1.shards = {{1, 2}};
+    ok = ok && experiment.Place(ResNetJob(2, 2), bg0) &&
+         experiment.Place(ResNetJob(3, 2), bg1);
+  } else if (name == "InterServer") {
+    // Two DiffServer 2-GPU background jobs spanning both servers.
+    Placement bg0;
+    bg0.shards = {{0, 1}, {1, 1}};
+    Placement bg1;
+    bg1.shards = {{0, 1}, {1, 1}};
+    ok = ok && experiment.Place(ResNetJob(2, 2), bg0) &&
+         experiment.Place(ResNetJob(3, 2), bg1);
+  }
+  if (!ok) {
+    std::fprintf(stderr, "allocation failed in scenario %s\n", scenario);
+    std::exit(1);
+  }
+  *images_out = experiment.StudyImagesPerSecond();
+  return experiment.StudyUtilization();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 4 — ResNet-50 locality/colocation microbenchmark",
+              "GPU util 57.7 / 49.6 / 37.5 / 36.5 and 114.8 / 98.0 / 75.6 / 74.1 "
+              "images/s for SameServer / DiffServer / IntraServer / InterServer; "
+              "batch 64 raises SameServer to 71.1%");
+
+  const Scenario scenarios[] = {{"SameServer", 57.7, 114.8},
+                                {"DiffServer", 49.6, 98.0},
+                                {"IntraServer", 37.5, 75.6},
+                                {"InterServer", 36.5, 74.1}};
+
+  TextTable table({"scenario", "util (%)", "paper util", "images/s", "paper img/s"});
+  ShapeChecker checker;
+  double previous = 101.0;
+  for (const auto& scenario : scenarios) {
+    double images = 0.0;
+    const double util = Measure(scenario.name, &images) * 100.0;
+    table.AddRow({scenario.name, FormatDouble(util, 1),
+                  FormatDouble(scenario.paper_util, 1), FormatDouble(images, 1),
+                  FormatDouble(scenario.paper_images, 1)});
+    checker.CheckWithin(std::string(scenario.name) + " utilization", util,
+                        scenario.paper_util, 0.03);
+    checker.CheckWithin(std::string(scenario.name) + " images/s", images,
+                        scenario.paper_images, 0.04);
+    checker.Check(std::string(scenario.name) + " ordering", util <= previous + 1e-9);
+    previous = util;
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const double batch64 = ProfileOf(ModelFamily::kResNet).base_util_mean *
+                         BatchUtilizationScale(64, 32) * 100.0;
+  std::printf("SameServer at batch 64: %.1f%% (paper: 71.1%%)\n", batch64);
+  checker.CheckWithin("batch-64 utilization", batch64, 71.1, 0.03);
+  return FinishBench(checker);
+}

@@ -1,0 +1,78 @@
+// Table 5: GPU utilization of 16-GPU jobs spread over 2 / 4 / 8 (shared)
+// servers — distribution plus co-tenant interference.
+
+#include "bench/bench_common.h"
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace philly;
+  PrintHeader("Table 5 — 16-GPU jobs over 2 / 4 / 8 servers",
+              "mean 43.66 / 40.94 / 28.56, p50 43.69 / 39.85 / 25.71: spreading "
+              "over more shared servers steadily lowers utilization");
+
+  const auto& run = DefaultRun();
+  const UtilizationResult result = AnalyzeUtilization(run.result.jobs);
+
+  struct PaperRow {
+    int servers;
+    double mean, p50, p90, p95;
+  };
+  constexpr PaperRow kPaper[] = {{2, 43.66, 43.69, 91.77, 97.06},
+                                 {4, 40.94, 39.85, 83.28, 91.97},
+                                 {8, 28.56, 25.71, 65.68, 78.85}};
+
+  // Pool the observed spreads into the paper's three regimes (exact 4- or
+  // 8-server placements may be rare depending on fragmentation patterns).
+  const char* kGroupNames[3] = {"2 (dedicated)", "3-5", ">=6"};
+  std::array<StreamingHistogram, 3> groups = {
+      StreamingHistogram(0, 100, 200), StreamingHistogram(0, 100, 200),
+      StreamingHistogram(0, 100, 200)};
+  for (const auto& [servers, hist] : result.sixteen_by_servers) {
+    const int group = servers <= 2 ? 0 : (servers <= 5 ? 1 : 2);
+    groups[static_cast<size_t>(group)].Merge(hist);
+  }
+
+  TextTable table({"servers", "gpu-min", "mean", "p50", "p90", "p95", "paper mean"});
+  ShapeChecker checker;
+  std::array<double, 3> means = {0, 0, 0};
+  int found = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (groups[static_cast<size_t>(i)].Count() < 50) {
+      table.AddRow({kGroupNames[i], "insufficient data", "-", "-", "-", "-",
+                    FormatDouble(kPaper[i].mean, 2)});
+      continue;
+    }
+    ++found;
+    const Summary s = Summarize(groups[static_cast<size_t>(i)]);
+    means[static_cast<size_t>(i)] = s.mean;
+    table.AddRow({kGroupNames[i], FormatDouble(s.count, 0), FormatDouble(s.mean, 2),
+                  FormatDouble(s.p50, 2), FormatDouble(s.p90, 2),
+                  FormatDouble(s.p95, 2), FormatDouble(kPaper[i].mean, 2)});
+    if (i > 0 && means[0] > 0) {
+      // Dedicated two-server placement should beat every shared spread; the
+      // relative ordering of the shared spreads themselves is noisy at bench
+      // scale (population composition varies with load phase).
+      checker.Check(std::string("mean at ") + kGroupNames[i] +
+                        " servers below the dedicated 2-server mean",
+                    s.mean < means[0],
+                    FormatDouble(s.mean, 1) + " < " + FormatDouble(means[0], 1));
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // Other observed spreads, for context.
+  std::printf("all observed spreads:");
+  for (const auto& [servers, hist] : result.sixteen_by_servers) {
+    std::printf(" %d:%.0f%%(n=%.0f)", servers, hist.Mean(), hist.Count());
+  }
+  std::printf("\n");
+
+  checker.Check("at least the 2- and 4-server populations observed", found >= 2);
+  if (found == 3) {
+    checker.CheckBand("degradation 2->8 servers (paper: -15.1 points)",
+                      means[0] - means[2], 4.0, 30.0);
+  }
+  return FinishBench(checker);
+}

@@ -1,0 +1,55 @@
+// Table 6: distribution of jobs by final status and their GPU-time shares.
+
+#include "bench/bench_common.h"
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+int main() {
+  using namespace philly;
+  PrintHeader("Table 6 — job final status vs GPU time consumed",
+              "Passed 69.3% of jobs / 44.5% of GPU time; Killed 13.5% / 37.7%; "
+              "Unsuccessful 17.2% / 17.8% — ~55% of GPU time goes to jobs that "
+              "do not complete successfully");
+
+  const auto& run = DefaultRun();
+  const StatusResult result = AnalyzeStatus(run.result.jobs);
+
+  struct PaperRow {
+    double count_share, gpu_share;
+  };
+  constexpr PaperRow kPaper[] = {{0.693, 0.4453}, {0.135, 0.3769}, {0.172, 0.1776}};
+
+  TextTable table({"status", "count", "count share", "paper", "GPU-time share",
+                   "paper"});
+  for (int s = 0; s < 3; ++s) {
+    const auto& row = result.by_status[static_cast<size_t>(s)];
+    table.AddRow({std::string(ToString(static_cast<JobStatus>(s))),
+                  std::to_string(row.count), FormatPercent(row.count_share, 1),
+                  FormatPercent(kPaper[s].count_share, 1),
+                  FormatPercent(row.gpu_time_share, 1),
+                  FormatPercent(kPaper[s].gpu_share, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  const double unproductive =
+      result.by_status[1].gpu_time_share + result.by_status[2].gpu_time_share;
+  std::printf("GPU time consumed by killed+unsuccessful jobs: %s (paper ~55%%)\n",
+              FormatPercent(unproductive, 1).c_str());
+
+  ShapeChecker checker;
+  checker.CheckBand("passed count share (paper 69.3%)",
+                    result.by_status[0].count_share, 0.60, 0.80);
+  checker.CheckBand("killed count share (paper 13.5%)",
+                    result.by_status[1].count_share, 0.06, 0.20);
+  checker.CheckBand("unsuccessful count share (paper 17.2%)",
+                    result.by_status[2].count_share, 0.10, 0.25);
+  checker.Check("killed jobs consume GPU time out of proportion",
+                result.by_status[1].gpu_time_share >
+                    1.5 * result.by_status[1].count_share);
+  checker.CheckBand("GPU time lost to non-passed jobs (paper ~55%)", unproductive,
+                    0.30, 0.65);
+  checker.Check("passed GPU-time share well below passed count share",
+                result.by_status[0].gpu_time_share <
+                    result.by_status[0].count_share - 0.05);
+  return FinishBench(checker);
+}

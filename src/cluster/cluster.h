@@ -1,0 +1,136 @@
+// Cluster topology and GPU allocation state.
+//
+// Mirrors the Philly deployment described in §2.2/§2.4 of the paper: servers
+// carry either 2 or 8 GPUs of the same model, servers are grouped into racks,
+// and each rack is an RDMA (InfiniBand) domain — workers placed within one
+// rack synchronize over the 100 Gbps fabric, across racks over Ethernet.
+// Host CPU cores and memory are allocated proportionally to requested GPUs.
+//
+// The Cluster owns allocation bookkeeping only; policy (which servers to pick)
+// lives in src/sched.
+
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace philly {
+
+using ServerId = int32_t;
+using RackId = int32_t;
+using JobId = int64_t;
+
+inline constexpr JobId kNoJob = -1;
+
+// Static description of a homogeneous group of racks.
+struct SkuGroup {
+  int racks = 0;
+  int servers_per_rack = 0;
+  int gpus_per_server = 0;
+};
+
+struct ClusterConfig {
+  std::vector<SkuGroup> skus;
+  int cpu_cores_per_server = 64;
+  int memory_gb_per_server = 512;
+
+  // Paper-like scale: thousands of GPUs, two SKUs, homogeneous racks
+  // (the dominant SKU is the 8-GPU server).
+  static ClusterConfig PaperScale();
+
+  // A small cluster for unit tests and the quickstart example.
+  static ClusterConfig Small();
+
+  int TotalServers() const;
+  int TotalGpus() const;
+};
+
+// One slice of a job's placement: `gpus` GPUs on one server.
+struct PlacementShard {
+  ServerId server = -1;
+  int gpus = 0;
+};
+
+// A gang placement for one job attempt.
+struct Placement {
+  std::vector<PlacementShard> shards;
+
+  int NumGpus() const;
+  int NumServers() const { return static_cast<int>(shards.size()); }
+  bool Empty() const { return shards.empty(); }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  int NumServers() const { return static_cast<int>(server_rack_.size()); }
+  int NumRacks() const { return static_cast<int>(rack_servers_.size()); }
+  int NumGpus() const { return total_gpus_; }
+  int NumUsedGpus() const { return used_gpus_; }
+  int NumFreeGpus() const { return total_gpus_ - used_gpus_; }
+  double Occupancy() const;
+
+  int ServerCapacity(ServerId s) const { return server_capacity_[s]; }
+  int ServerUsed(ServerId s) const { return server_used_[s]; }
+  int ServerFree(ServerId s) const { return server_capacity_[s] - server_used_[s]; }
+  RackId ServerRack(ServerId s) const { return server_rack_[s]; }
+  const std::vector<ServerId>& ServersInRack(RackId r) const { return rack_servers_[r]; }
+  int RackFreeGpus(RackId r) const { return rack_free_[r]; }
+  int RackCapacity(RackId r) const { return rack_capacity_[r]; }
+
+  // Atomically claims the shards of `placement` for `job`. Returns false (and
+  // claims nothing) if any shard exceeds the free GPUs of its server, a server
+  // appears twice, or the job already holds GPUs.
+  bool Allocate(JobId job, const Placement& placement);
+
+  // Releases everything `job` holds. Returns the number of GPUs freed (0 if
+  // the job held nothing).
+  int Release(JobId job);
+
+  // Jobs currently holding GPUs on server `s`, with their shard sizes.
+  struct Tenant {
+    JobId job = kNoJob;
+    int gpus = 0;
+  };
+  const std::vector<Tenant>& TenantsOnServer(ServerId s) const { return server_tenants_[s]; }
+
+  // The placement currently held by `job` (empty if none).
+  Placement PlacementOf(JobId job) const;
+  bool Holds(JobId job) const { return job_shards_.count(job) > 0; }
+
+  // Fraction of servers with zero GPUs allocated (paper §3.1.1: at 2/3
+  // occupancy fewer than 4.5% of servers are completely empty).
+  double EmptyServerFraction() const;
+
+  // Number of distinct racks that contain at least one completely empty
+  // server (paper: empty servers are spread across RDMA domains).
+  int RacksWithEmptyServers() const;
+
+  // Host-resource proportionality: a job holding g GPUs on a server with c
+  // GPUs gets g/c of that server's cores and memory (§2.3).
+  double CpuCoresFor(ServerId s, int gpus) const;
+  double MemoryGbFor(ServerId s, int gpus) const;
+
+ private:
+  int total_gpus_ = 0;
+  int used_gpus_ = 0;
+  ClusterConfig config_;
+  std::vector<int> server_capacity_;
+  std::vector<int> server_used_;
+  std::vector<RackId> server_rack_;
+  std::vector<std::vector<ServerId>> rack_servers_;
+  std::vector<int> rack_capacity_;
+  std::vector<int> rack_free_;
+  std::vector<std::vector<Tenant>> server_tenants_;
+  // JobId -> shards held; PlacementOf() returns shards sorted by server id so
+  // iteration order stays deterministic.
+  std::unordered_map<JobId, std::vector<PlacementShard>> job_shards_;
+};
+
+}  // namespace philly
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,83 @@
+#include "src/common/csv.h"
+
+#include <istream>
+#include <ostream>
+
+namespace philly {
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void WriteField(std::ostream& out, std::string_view field) {
+  if (!NeedsQuoting(field)) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (char c : field) {
+    if (c == '"') {
+      out << "\"\"";
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    WriteField(out_, fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::vector<std::string> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::vector<std::vector<std::string>> ReadCsv(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    rows.push_back(ParseCsvLine(line));
+  }
+  return rows;
+}
+
+}  // namespace philly

@@ -1,0 +1,55 @@
+// Minimal CSV reading/writing for the philly-traces-compatible log files.
+//
+// Supports RFC-4180-style quoting (fields containing the separator, quotes, or
+// newlines are quoted; embedded quotes are doubled). That is all the trace
+// schemas need; this is not a general CSV library.
+
+#ifndef SRC_COMMON_CSV_H_
+#define SRC_COMMON_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace philly {
+
+// Streams rows to an ostream the caller owns.
+class CsvWriter {
+ public:
+  // `out` must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+  // Convenience variadic row: each argument must be string-like or arithmetic.
+  template <typename... Ts>
+  void Row(const Ts&... fields) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(fields));
+    (row.push_back(ToField(fields)), ...);
+    WriteRow(row);
+  }
+
+ private:
+  static std::string ToField(const std::string& s) { return s; }
+  static std::string ToField(std::string_view s) { return std::string(s); }
+  static std::string ToField(const char* s) { return s; }
+  template <typename T>
+  static std::string ToField(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::ostream& out_;
+};
+
+// Parses one CSV line into fields (handles quoting; no embedded newlines).
+std::vector<std::string> ParseCsvLine(std::string_view line);
+
+// Reads all rows of an istream. First row is returned as-is (callers decide
+// whether it is a header).
+std::vector<std::vector<std::string>> ReadCsv(std::istream& in);
+
+}  // namespace philly
+
+#endif  // SRC_COMMON_CSV_H_

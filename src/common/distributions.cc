@@ -1,0 +1,128 @@
+#include "src/common/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace philly {
+
+// Acklam's rational approximation.
+double Probit(double p) {
+  assert(p > 0.0 && p < 1.0);
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+namespace {
+constexpr double kZ90 = 1.2815515655446004;  // Probit(0.9)
+}  // namespace
+
+LognormalSpec LognormalSpec::FromMedianP90(double median, double p90) {
+  assert(median > 0.0 && p90 >= median);
+  LognormalSpec spec;
+  spec.mu = std::log(median);
+  spec.sigma = p90 > median ? (std::log(p90) - spec.mu) / kZ90 : 0.0;
+  return spec;
+}
+
+double LognormalSpec::Median() const { return std::exp(mu); }
+
+double LognormalSpec::Quantile(double p) const {
+  assert(p > 0.0 && p < 1.0);
+  return std::exp(mu + sigma * Probit(p));
+}
+
+double LognormalSpec::Mean() const { return std::exp(mu + 0.5 * sigma * sigma); }
+
+void LognormalMixture::AddComponent(double weight, LognormalSpec spec) {
+  assert(weight > 0.0);
+  weights_.push_back(weight);
+  specs_.push_back(spec);
+}
+
+double LognormalMixture::Sample(Rng& rng) const {
+  assert(!weights_.empty());
+  const size_t i = rng.Categorical(weights_);
+  return specs_[i].Sample(rng);
+}
+
+ArrivalProcess::ArrivalProcess(double rate_per_hour, double diurnal_amplitude,
+                               double weekly_amplitude, double weekly_phase)
+    : rate_per_hour_(rate_per_hour),
+      amplitude_(diurnal_amplitude),
+      weekly_amplitude_(weekly_amplitude),
+      weekly_phase_(weekly_phase) {
+  assert(rate_per_hour > 0.0);
+  assert(diurnal_amplitude >= 0.0 && diurnal_amplitude < 1.0);
+  assert(weekly_amplitude >= 0.0 && weekly_amplitude < 1.0);
+}
+
+void ArrivalProcess::AddBurst(int64_t start, int64_t end, double multiplier) {
+  assert(end > start && multiplier > 0.0);
+  bursts_.push_back({start, end, multiplier});
+  max_burst_multiplier_ = std::max(max_burst_multiplier_, multiplier);
+}
+
+double ArrivalProcess::RateAt(int64_t t) const {
+  double rate = rate_per_hour_;
+  if (amplitude_ > 0.0) {
+    const double phase =
+        2.0 * std::numbers::pi * static_cast<double>(t % 86400) / 86400.0;
+    // Peak load mid-day (phase shifted so t=0 is midnight).
+    rate *= 1.0 + amplitude_ * std::sin(phase - std::numbers::pi / 2.0);
+  }
+  if (weekly_amplitude_ > 0.0) {
+    constexpr int64_t kWeek = 7 * 86400;
+    const double phase =
+        2.0 * std::numbers::pi * static_cast<double>(t % kWeek) / kWeek;
+    rate *= 1.0 + weekly_amplitude_ * std::sin(phase + weekly_phase_);
+  }
+  for (const Burst& burst : bursts_) {
+    if (t >= burst.start && t < burst.end) {
+      rate *= burst.multiplier;
+    }
+  }
+  return rate;
+}
+
+int64_t ArrivalProcess::NextAfter(int64_t now, Rng& rng) const {
+  const double max_rate = rate_per_hour_ * (1.0 + amplitude_) *
+                          (1.0 + weekly_amplitude_) * max_burst_multiplier_;
+  int64_t t = now;
+  for (;;) {
+    const double gap_hours = rng.Exponential(1.0 / max_rate);
+    const auto gap_seconds = static_cast<int64_t>(gap_hours * 3600.0) + 1;
+    t += gap_seconds;
+    if (rng.Uniform() * max_rate <= RateAt(t)) {
+      return t;
+    }
+  }
+}
+
+}  // namespace philly

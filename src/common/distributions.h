@@ -1,0 +1,89 @@
+// Parameterized distributions fitted from the paper's published statistics.
+//
+// Table 7 gives runtime-to-failure percentiles (p50/p90/p95) per failure
+// reason; Figure 2 gives heavy-tailed run-time CDFs. We fit two-parameter
+// lognormals from (median, p90) pairs — the natural family for the "mostly
+// short, occasionally week-long" populations the paper reports — and expose a
+// few composable building blocks used by the workload generator.
+
+#ifndef SRC_COMMON_DISTRIBUTIONS_H_
+#define SRC_COMMON_DISTRIBUTIONS_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace philly {
+
+// Inverse standard-normal CDF, p in (0, 1). Rational approximation with
+// |error| < 1e-9; used for quantile computations and hash-seeded noise.
+double Probit(double p);
+
+// Lognormal given by the underlying normal's (mu, sigma).
+struct LognormalSpec {
+  double mu = 0.0;
+  double sigma = 1.0;
+
+  // Fits mu/sigma so that the distribution's median and 90th percentile match
+  // the given values. Requires 0 < median <= p90; a degenerate fit (sigma=0)
+  // results when median == p90.
+  static LognormalSpec FromMedianP90(double median, double p90);
+
+  double Sample(Rng& rng) const { return rng.Lognormal(mu, sigma); }
+  double Median() const;
+  double Quantile(double p) const;
+  double Mean() const;
+};
+
+// Mixture of lognormals with component weights; used for the multi-modal
+// run-time population in Figure 2 (quick debugging runs vs. long production
+// training).
+class LognormalMixture {
+ public:
+  void AddComponent(double weight, LognormalSpec spec);
+
+  double Sample(Rng& rng) const;
+  bool Empty() const { return weights_.empty(); }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<LognormalSpec> specs_;
+};
+
+// Non-homogeneous Poisson arrival process. Rate is per hour and may be
+// modulated by (a) a day-periodic sinusoid (day/night swings), (b) a
+// week-periodic sinusoid with a per-stream phase (weekday/weekend and
+// per-team cadence), and (c) transient multiplicative bursts — the
+// "deadline push" episodes that build the heavy queueing-delay tails
+// production clusters exhibit.
+class ArrivalProcess {
+ public:
+  // `rate_per_hour` > 0; amplitudes in [0, 1).
+  ArrivalProcess(double rate_per_hour, double diurnal_amplitude = 0.0,
+                 double weekly_amplitude = 0.0, double weekly_phase = 0.0);
+
+  // Multiplies the rate by `multiplier` (> 0) during [start, end).
+  void AddBurst(int64_t start, int64_t end, double multiplier);
+
+  // Next arrival strictly after `now` (seconds), via thinning.
+  int64_t NextAfter(int64_t now, Rng& rng) const;
+
+  double RateAt(int64_t t) const;  // instantaneous rate, per hour
+
+ private:
+  struct Burst {
+    int64_t start = 0;
+    int64_t end = 0;
+    double multiplier = 1.0;
+  };
+  double rate_per_hour_;
+  double amplitude_;
+  double weekly_amplitude_;
+  double weekly_phase_;
+  double max_burst_multiplier_ = 1.0;
+  std::vector<Burst> bursts_;
+};
+
+}  // namespace philly
+
+#endif  // SRC_COMMON_DISTRIBUTIONS_H_

@@ -1,0 +1,264 @@
+#include "src/common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace philly {
+namespace {
+
+const std::string kEmptyString;
+const std::vector<JsonValue> kEmptyArray;
+const JsonValue kNullValue;
+
+}  // namespace
+
+bool JsonValue::AsBool(bool fallback) const {
+  return type_ == Type::kBool ? bool_ : fallback;
+}
+
+double JsonValue::AsNumber(double fallback) const {
+  return type_ == Type::kNumber ? number_ : fallback;
+}
+
+const std::string& JsonValue::AsString() const {
+  return type_ == Type::kString ? string_ : kEmptyString;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  return type_ == Type::kArray ? array_ : kEmptyArray;
+}
+
+const JsonValue& JsonValue::operator[](std::string_view key) const {
+  if (type_ == Type::kObject) {
+    const auto it = object_.find(key);
+    if (it != object_.end()) {
+      return it->second;
+    }
+  }
+  return kNullValue;
+}
+
+size_t JsonValue::size() const {
+  if (type_ == Type::kArray) {
+    return array_.size();
+  }
+  if (type_ == Type::kObject) {
+    return object_.size();
+  }
+  return 0;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue Parse(std::string* error) {
+    JsonValue value;
+    if (!ParseValue(&value) || (SkipSpace(), pos_ != text_.size())) {
+      if (error != nullptr && error->empty()) {
+        *error = error_.empty() ? "trailing content at byte " + std::to_string(pos_)
+                                : error_;
+      }
+      return JsonValue();
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        return ParseString(&out->string_) && ((out->type_ = JsonValue::Type::kString), true);
+      case 't':
+      case 'f':
+        return ParseLiteral(out);
+      case 'n':
+        return ParseNull(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type_ = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Consume('}')) {
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(&key)) {
+        return Fail("expected object key");
+      }
+      if (!Consume(':')) {
+        return Fail("expected ':'");
+      }
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object_.emplace(std::move(key), std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type_ = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Consume(']')) {
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->array_.push_back(std::move(value));
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          break;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u':
+            // Unsupported escape: keep the raw text (identifiers in the
+            // trace never use it).
+            *out += "\\u";
+            break;
+          default:
+            *out += esc;
+            break;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    if (text_.substr(pos_, 4) == "true") {
+      out->type_ = JsonValue::Type::kBool;
+      out->bool_ = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out->type_ = JsonValue::Type::kBool;
+      out->bool_ = false;
+      pos_ += 5;
+      return true;
+    }
+    return Fail("invalid literal");
+  }
+
+  bool ParseNull(JsonValue* out) {
+    if (text_.substr(pos_, 4) == "null") {
+      out->type_ = JsonValue::Type::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return Fail("invalid literal");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) {
+      return Fail("invalid number");
+    }
+    out->type_ = JsonValue::Type::kNumber;
+    out->number_ = value;
+    pos_ += static_cast<size_t>(end - begin);
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+JsonValue JsonValue::Parse(std::string_view text, std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  JsonParser parser(text);
+  return parser.Parse(error);
+}
+
+}  // namespace philly

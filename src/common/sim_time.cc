@@ -1,0 +1,30 @@
+#include "src/common/sim_time.h"
+
+#include <cstdio>
+
+namespace philly {
+
+std::string FormatDuration(SimDuration d) {
+  const char* sign = "";
+  if (d < 0) {
+    sign = "-";
+    d = -d;
+  }
+  const int64_t days = d / 86400;
+  const int64_t hours = (d % 86400) / 3600;
+  const int64_t mins = (d % 3600) / 60;
+  const int64_t secs = d % 60;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld", sign,
+                  static_cast<long long>(days), static_cast<long long>(hours),
+                  static_cast<long long>(mins), static_cast<long long>(secs));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld", sign,
+                  static_cast<long long>(hours), static_cast<long long>(mins),
+                  static_cast<long long>(secs));
+  }
+  return buf;
+}
+
+}  // namespace philly

@@ -1,0 +1,201 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace philly {
+
+void RunningStats::Add(double x, double weight) {
+  if (weight <= 0.0) {
+    return;
+  }
+  count_ += weight;
+  const double delta = x - mean_;
+  mean_ += delta * weight / count_;
+  m2_ += weight * delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ <= 0.0) {
+    return;
+  }
+  if (count_ <= 0.0) {
+    *this = other;
+    return;
+  }
+  const double total = count_ + other.count_;
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * count_ * other.count_ / total;
+  mean_ += delta * other.count_ / total;
+  count_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::Variance() const { return count_ > 0.0 ? m2_ / count_ : 0.0; }
+
+double RunningStats::Stddev() const { return std::sqrt(Variance()); }
+
+StreamingHistogram::StreamingHistogram(double lo, double hi, size_t bins, Scale scale)
+    : lo_(lo), hi_(hi), scale_(scale), counts_(bins, 0.0) {
+  assert(bins > 0);
+  assert(hi > lo);
+  if (scale_ == Scale::kLog) {
+    assert(lo > 0.0);
+    log_lo_ = std::log(lo_);
+    log_hi_ = std::log(hi_);
+  }
+}
+
+size_t StreamingHistogram::BinIndex(double x) const {
+  double frac = 0.0;
+  if (scale_ == Scale::kLinear) {
+    frac = (x - lo_) / (hi_ - lo_);
+  } else {
+    frac = x <= 0.0 ? -1.0 : (std::log(x) - log_lo_) / (log_hi_ - log_lo_);
+  }
+  if (frac <= 0.0) {
+    return 0;
+  }
+  const auto idx = static_cast<size_t>(frac * static_cast<double>(counts_.size()));
+  return std::min(idx, counts_.size() - 1);
+}
+
+double StreamingHistogram::BinLowerEdge(size_t i) const {
+  const double frac = static_cast<double>(i) / static_cast<double>(counts_.size());
+  if (scale_ == Scale::kLinear) {
+    return lo_ + frac * (hi_ - lo_);
+  }
+  return std::exp(log_lo_ + frac * (log_hi_ - log_lo_));
+}
+
+void StreamingHistogram::Add(double x, double weight) {
+  if (weight <= 0.0) {
+    return;
+  }
+  counts_[BinIndex(x)] += weight;
+  stats_.Add(x, weight);
+}
+
+void StreamingHistogram::Merge(const StreamingHistogram& other) {
+  assert(other.counts_.size() == counts_.size());
+  assert(other.lo_ == lo_ && other.hi_ == hi_ && other.scale_ == scale_);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  stats_.Merge(other.stats_);
+}
+
+double StreamingHistogram::Quantile(double p) const {
+  const double total = stats_.Count();
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (cum + counts_[i] >= target) {
+      const double within = counts_[i] > 0.0 ? (target - cum) / counts_[i] : 0.0;
+      const double lo = BinLowerEdge(i);
+      const double hi = BinUpperEdge(i);
+      // Clamp the interpolated value into the truly observed range so that
+      // out-of-range clamping into edge bins cannot report impossible values.
+      return std::clamp(lo + within * (hi - lo), stats_.Min(), stats_.Max());
+    }
+    cum += counts_[i];
+  }
+  return stats_.Max();
+}
+
+double StreamingHistogram::CdfAt(double x) const {
+  const double total = stats_.Count();
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  if (x < lo_) {
+    return 0.0;
+  }
+  if (x >= hi_) {
+    return 1.0;
+  }
+  const size_t idx = BinIndex(x);
+  double cum = 0.0;
+  for (size_t i = 0; i < idx; ++i) {
+    cum += counts_[i];
+  }
+  const double lo = BinLowerEdge(idx);
+  const double hi = BinUpperEdge(idx);
+  const double frac = hi > lo ? (x - lo) / (hi - lo) : 1.0;
+  cum += counts_[idx] * std::clamp(frac, 0.0, 1.0);
+  return cum / total;
+}
+
+std::vector<StreamingHistogram::CdfPoint> StreamingHistogram::CdfSeries() const {
+  std::vector<CdfPoint> out;
+  const double total = stats_.Count();
+  if (total <= 0.0) {
+    return out;
+  }
+  out.reserve(counts_.size());
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    out.push_back({BinUpperEdge(i), cum / total});
+  }
+  return out;
+}
+
+Summary Summarize(const StreamingHistogram& h) {
+  Summary s;
+  s.count = h.Count();
+  s.mean = h.Mean();
+  s.p50 = h.Quantile(0.50);
+  s.p90 = h.Quantile(0.90);
+  s.p95 = h.Quantile(0.95);
+  s.p99 = h.Quantile(0.99);
+  s.min = h.Min();
+  s.max = h.Max();
+  return s;
+}
+
+double Percentile(std::span<const double> samples, double p) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Reservoir::Reservoir(size_t capacity, uint64_t seed)
+    : capacity_(capacity), state_(seed ? seed : 1) {
+  samples_.reserve(capacity);
+}
+
+void Reservoir::Add(double x) {
+  ++seen_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    return;
+  }
+  // splitmix64 step for the replacement draw.
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  const uint64_t j = z % seen_;
+  if (j < capacity_) {
+    samples_[static_cast<size_t>(j)] = x;
+  }
+}
+
+}  // namespace philly

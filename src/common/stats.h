@@ -1,0 +1,137 @@
+// Streaming statistics used throughout the analysis pipeline.
+//
+// The paper's figures are CDFs and percentile tables over very large sample
+// populations (per-minute GPU utilization at cluster scale is ~1e8 samples at
+// full trace length). We therefore never materialize raw sample vectors in the
+// steady state: accumulators here are O(1) per observation and O(bins) memory.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace philly {
+
+// Welford mean/variance plus min/max, with optional observation weights.
+class RunningStats {
+ public:
+  void Add(double x, double weight = 1.0);
+
+  // Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+  double Count() const { return count_; }
+  double Mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance of the weighted sample.
+  double Variance() const;
+  double Stddev() const;
+  double Min() const { return count_ > 0 ? min_ : 0.0; }
+  double Max() const { return count_ > 0 ? max_ : 0.0; }
+  double Sum() const { return mean_ * count_; }
+
+ private:
+  double count_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-bin streaming histogram supporting linear or logarithmic bin spacing.
+// Percentiles are interpolated within bins, which is exact enough for the
+// CDF-shaped results the paper reports (we use >= 200 bins everywhere).
+class StreamingHistogram {
+ public:
+  enum class Scale { kLinear, kLog };
+
+  // For kLog, `lo` must be > 0. Values outside [lo, hi] are clamped into the
+  // first/last bin (and tracked exactly by RunningStats for mean/min/max).
+  StreamingHistogram(double lo, double hi, size_t bins, Scale scale = Scale::kLinear);
+
+  void Add(double x, double weight = 1.0);
+  void Merge(const StreamingHistogram& other);
+
+  double Count() const { return stats_.Count(); }
+  double Mean() const { return stats_.Mean(); }
+  double Min() const { return stats_.Min(); }
+  double Max() const { return stats_.Max(); }
+  const RunningStats& Stats() const { return stats_; }
+
+  // Interpolated p-quantile, p in [0, 1]. Returns 0 for an empty histogram.
+  double Quantile(double p) const;
+  double Median() const { return Quantile(0.5); }
+
+  // Fraction of observed mass with value <= x.
+  double CdfAt(double x) const;
+
+  // Returns (value, cumulative_fraction) pairs at bin upper edges, suitable
+  // for plotting the CDF curves in the paper's figures.
+  struct CdfPoint {
+    double value = 0.0;
+    double cumulative = 0.0;
+  };
+  std::vector<CdfPoint> CdfSeries() const;
+
+  size_t NumBins() const { return counts_.size(); }
+  double BinWeight(size_t i) const { return counts_[i]; }
+  double BinLowerEdge(size_t i) const;
+  double BinUpperEdge(size_t i) const { return BinLowerEdge(i + 1); }
+
+ private:
+  size_t BinIndex(double x) const;
+
+  double lo_;
+  double hi_;
+  Scale scale_;
+  double log_lo_ = 0.0;
+  double log_hi_ = 0.0;
+  std::vector<double> counts_;
+  RunningStats stats_;
+};
+
+// Convenience summary of a sample population.
+struct Summary {
+  double count = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary Summarize(const StreamingHistogram& h);
+
+// Exact percentile of an explicit sample vector (sorts a copy; use only for
+// small populations such as per-job aggregates). `p` in [0, 1]; linear
+// interpolation between order statistics.
+double Percentile(std::span<const double> samples, double p);
+
+// Weighted reservoir of bounded size: keeps a uniform random subset of a
+// stream (A-Res algorithm degenerates to uniform for equal weights). Used to
+// keep representative raw samples for scatter-style figures (e.g. Figure 10)
+// without unbounded memory.
+class Reservoir {
+ public:
+  explicit Reservoir(size_t capacity, uint64_t seed = 1);
+
+  void Add(double x);
+  const std::vector<double>& Samples() const { return samples_; }
+  uint64_t SeenCount() const { return seen_; }
+
+ private:
+  size_t capacity_;
+  uint64_t seen_ = 0;
+  uint64_t state_;
+  std::vector<double> samples_;
+};
+
+}  // namespace philly
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,66 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace philly {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back({std::move(row), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::AddRule() { pending_rule_ = true; }
+
+std::string TextTable::Render() const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) {
+    cols = std::max(cols, row.cells.size());
+  }
+  std::vector<size_t> widths(cols, 0);
+  const auto measure = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  measure(header_);
+  for (const auto& row : rows_) {
+    measure(row.cells);
+  }
+
+  std::ostringstream out;
+  const auto emit_cells = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cols; ++i) {
+      if (i > 0) {
+        out << " | ";
+      }
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      out << cell;
+      out << std::string(widths[i] - cell.size(), ' ');
+    }
+    out << '\n';
+  };
+  const auto emit_rule = [&] {
+    for (size_t i = 0; i < cols; ++i) {
+      if (i > 0) {
+        out << "-+-";
+      }
+      out << std::string(widths[i], '-');
+    }
+    out << '\n';
+  };
+
+  emit_cells(header_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.rule_before) {
+      emit_rule();
+    }
+    emit_cells(row.cells);
+  }
+  return out.str();
+}
+
+}  // namespace philly

@@ -1,0 +1,41 @@
+// Fixed-width ASCII table rendering for bench/report output.
+//
+// Every reproduction bench prints a paper-style table with `paper` vs
+// `measured` columns; this renderer keeps that output aligned and uniform.
+
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace philly {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  // Renders with a header rule and column padding, e.g.
+  //   Job size | Passed | Killed
+  //   ---------+--------+-------
+  //   1 GPU    |  53.51 |  37.02
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace philly
+
+#endif  // SRC_COMMON_TABLE_H_

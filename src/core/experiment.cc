@@ -1,0 +1,31 @@
+#include "src/core/experiment.h"
+
+namespace philly {
+
+ExperimentConfig ExperimentConfig::PaperScale(uint64_t seed) {
+  ExperimentConfig c;
+  c.workload = WorkloadConfig::PaperScale();
+  c.workload.seed = seed;
+  c.simulation.vcs = c.workload.vcs;
+  c.simulation.seed = seed;
+  return c;
+}
+
+ExperimentConfig ExperimentConfig::BenchScale(int days, uint64_t seed) {
+  ExperimentConfig c = PaperScale(seed);
+  c.workload.duration = Days(days);
+  return c;
+}
+
+ExperimentRun RunExperiment(const ExperimentConfig& config) {
+  WorkloadGenerator generator(config.workload);
+  auto jobs = generator.Generate();
+  ExperimentRun run;
+  run.config = config;
+  run.num_jobs = static_cast<int64_t>(jobs.size());
+  ClusterSimulation sim(config.simulation, std::move(jobs));
+  run.result = sim.Run();
+  return run;
+}
+
+}  // namespace philly

@@ -1,0 +1,38 @@
+// Experiment driver: generate a workload, simulate it, and hand the logs to
+// the analyses. Every bench and example goes through this so scale/seed
+// handling is uniform.
+
+#ifndef SRC_CORE_EXPERIMENT_H_
+#define SRC_CORE_EXPERIMENT_H_
+
+#include <string>
+
+#include "src/sched/simulation.h"
+#include "src/workload/generator.h"
+
+namespace philly {
+
+struct ExperimentConfig {
+  WorkloadConfig workload;
+  SimulationConfig simulation;
+
+  // The full paper-scale run: 75 days, ~96k jobs, 1600 GPUs.
+  static ExperimentConfig PaperScale(uint64_t seed = 42);
+
+  // Default bench/test scale: `days` of arrivals at paper rates with the
+  // warm-start cohort, so steady-state behaviour shows up immediately.
+  static ExperimentConfig BenchScale(int days = 10, uint64_t seed = 42);
+};
+
+struct ExperimentRun {
+  ExperimentConfig config;
+  SimulationResult result;
+  int64_t num_jobs = 0;
+};
+
+// Generates, simulates, and returns the logs. Deterministic per config.
+ExperimentRun RunExperiment(const ExperimentConfig& config);
+
+}  // namespace philly
+
+#endif  // SRC_CORE_EXPERIMENT_H_

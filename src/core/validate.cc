@@ -1,0 +1,120 @@
+#include "src/core/validate.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace philly {
+namespace {
+
+void Report(ValidationReport* report, const ValidateOptions& options, JobId job,
+            std::string what) {
+  if (report->issues.size() < options.max_issues) {
+    report->issues.push_back({job, std::move(what)});
+  }
+}
+
+}  // namespace
+
+std::string ValidationReport::Summary(size_t max_issues) const {
+  std::ostringstream out;
+  out << issues.size() << " issue(s) across " << jobs_checked << " jobs";
+  for (size_t i = 0; i < issues.size() && i < max_issues; ++i) {
+    out << "\n  job " << issues[i].job << ": " << issues[i].what;
+  }
+  return out.str();
+}
+
+ValidationReport ValidateJobs(const std::vector<JobRecord>& jobs,
+                              ValidateOptions options) {
+  ValidationReport report;
+  for (const JobRecord& job : jobs) {
+    ++report.jobs_checked;
+    const JobId id = job.spec.id;
+    if (job.spec.num_gpus <= 0) {
+      Report(&report, options, id, "non-positive GPU demand");
+    }
+    if (job.finish_time < job.spec.submit_time) {
+      Report(&report, options, id, "finished before submission");
+    }
+    if (job.waits.size() != job.attempts.size() && !job.attempts.empty()) {
+      Report(&report, options, id,
+             "waits (" + std::to_string(job.waits.size()) + ") != attempts (" +
+                 std::to_string(job.attempts.size()) + ")");
+    }
+
+    SimTime prev_end = job.spec.submit_time;
+    double gpu_seconds = 0.0;
+    SimDuration attempt_time = 0;
+    for (const AttemptRecord& attempt : job.attempts) {
+      ++report.attempts_checked;
+      if (attempt.start < prev_end) {
+        Report(&report, options, id,
+               "attempt " + std::to_string(attempt.index) + " starts before the "
+               "previous attempt ended");
+      }
+      if (attempt.end < attempt.start) {
+        Report(&report, options, id,
+               "attempt " + std::to_string(attempt.index) + " ends before it starts");
+      }
+      if (attempt.prerun) {
+        if (!attempt.placement.Empty()) {
+          Report(&report, options, id, "pre-run attempt carries a gang placement");
+        }
+      } else {
+        if (attempt.placement.NumGpus() != job.spec.num_gpus) {
+          Report(&report, options, id,
+                 "attempt " + std::to_string(attempt.index) + " gang size " +
+                     std::to_string(attempt.placement.NumGpus()) + " != demand " +
+                     std::to_string(job.spec.num_gpus));
+        }
+        for (size_t i = 0; i < attempt.placement.shards.size(); ++i) {
+          for (size_t k = 0; k < i; ++k) {
+            if (attempt.placement.shards[i].server ==
+                attempt.placement.shards[k].server) {
+              Report(&report, options, id, "placement repeats a server");
+            }
+          }
+        }
+        attempt_time += attempt.Duration();
+      }
+      if (!attempt.failed && !attempt.log_tail.empty()) {
+        Report(&report, options, id, "clean attempt carries a failure log tail");
+      }
+      gpu_seconds += attempt.GpuTime();
+      prev_end = attempt.end;
+    }
+    if (std::abs(gpu_seconds - job.gpu_seconds) > 0.5) {
+      Report(&report, options, id,
+             "gpu_seconds mismatch: recorded " + std::to_string(job.gpu_seconds) +
+                 " vs recomputed " + std::to_string(gpu_seconds));
+    }
+    if (options.check_segment_coverage) {
+      SimDuration segment_time = 0;
+      for (const UtilSegment& segment : job.util_segments) {
+        if (segment.expected_util < 0.0 || segment.expected_util > 1.0) {
+          Report(&report, options, id, "segment utilization out of [0, 1]");
+        }
+        if (segment.duration <= 0) {
+          Report(&report, options, id, "non-positive segment duration");
+        }
+        segment_time += segment.duration;
+      }
+      if (segment_time != attempt_time) {
+        Report(&report, options, id,
+               "segments cover " + std::to_string(segment_time) +
+                   "s but gang attempts total " + std::to_string(attempt_time) + "s");
+      }
+    }
+    for (const WaitRecord& wait : job.waits) {
+      if (wait.wait < 0) {
+        Report(&report, options, id, "negative wait");
+      }
+      if (wait.fair_share_time + wait.fragmentation_time > wait.wait) {
+        Report(&report, options, id, "wait cause attribution exceeds the wait");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace philly

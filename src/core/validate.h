@@ -1,0 +1,48 @@
+// Structural validation of simulation output.
+//
+// ValidateResult checks the invariants every well-formed SimulationResult
+// must satisfy (attempt ordering, gang sizes, GPU-time accounting, segment
+// coverage, wait attribution bounds). The checks live in the library — not
+// only in tests — so downstream consumers of traces (including phillyctl
+// after loading a trace from disk) can assert integrity before analyzing.
+
+#ifndef SRC_CORE_VALIDATE_H_
+#define SRC_CORE_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sched/records.h"
+
+namespace philly {
+
+struct ValidationIssue {
+  JobId job = kNoJob;
+  std::string what;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  int64_t jobs_checked = 0;
+  int64_t attempts_checked = 0;
+
+  bool ok() const { return issues.empty(); }
+  // First few issues, one per line, for error messages.
+  std::string Summary(size_t max_issues = 10) const;
+};
+
+struct ValidateOptions {
+  // When true, require utilization segments to exactly cover attempt time
+  // (true for simulator output; trace round trips preserve it).
+  bool check_segment_coverage = true;
+  // Cap on recorded issues (validation keeps scanning but stops recording).
+  size_t max_issues = 100;
+};
+
+// Validates per-job invariants. Cheap: O(total attempts + segments).
+ValidationReport ValidateJobs(const std::vector<JobRecord>& jobs,
+                              ValidateOptions options = {});
+
+}  // namespace philly
+
+#endif  // SRC_CORE_VALIDATE_H_

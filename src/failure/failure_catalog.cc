@@ -1,0 +1,137 @@
+#include "src/failure/failure_catalog.h"
+
+#include <cassert>
+
+namespace philly {
+namespace {
+
+// One catalog row. Category flags are assigned semantically per §4.2.1's
+// descriptions (the published table marks membership; e.g. "traceback from
+// crash" appears in all three categories).
+FailureReasonInfo Row(FailureReason reason, std::string_view name, bool inf, bool ae,
+                      bool user, double trials, double jobs, double users, double p50,
+                      double p90, double p95, double rtf_share, double d1, double d24,
+                      double dgt4, double rtfxd, double unsuccessful_prob,
+                      double killed_prob) {
+  FailureReasonInfo info;
+  info.reason = reason;
+  info.name = name;
+  info.infrastructure = inf;
+  info.ai_engine = ae;
+  info.user = user;
+  info.paper_trials = trials;
+  info.paper_jobs = jobs;
+  info.paper_users = users;
+  info.rtf_p50_min = p50;
+  info.rtf_p90_min = p90;
+  info.rtf_p95_min = p95;
+  info.rtf_total_share = rtf_share;
+  info.demand_counts = {d1, d24, dgt4};
+  info.rtf_x_demand_share = rtfxd;
+  info.rtf_fit = LognormalSpec::FromMedianP90(p50, p90);
+  if (reason == FailureReason::kSemanticError) {
+    info.demand_rtf_exponent = 0.65;
+  }
+  info.mean_trials_per_job = jobs > 0 ? trials / jobs : 1.0;
+  info.unsuccessful_prob = unsuccessful_prob;
+  info.killed_after_failure_prob = killed_prob;
+  return info;
+}
+
+const std::array<FailureReasonInfo, kNumFailureReasons> kCatalog = {{
+    // reason, name, IF, AE, U, Trial, Job, User, p50, p90, p95, Total%,
+    //   demand(1, 2-4, >4), RTFxDemand%, P(unsuccessful), P(killed after)
+    Row(FailureReason::kCpuOutOfMemory, "CPU out of memory", false, true, true,  //
+        12076, 2803, 65, 13.45, 17.73, 33.97, 6.62, 11465, 235, 376, 8.05, 0.93, 0.03),
+    Row(FailureReason::kIncorrectInputs, "Incorrect inputs", true, false, true,  //
+        9690, 4936, 208, 1.87, 404.83, 2095.73, 30.43, 5844, 2638, 1208, 24.21, 0.95,
+        0.03),
+    Row(FailureReason::kSemanticError, "Semantic error", false, true, true,  //
+        2943, 2049, 159, 2.72, 376.00, 1436.88, 9.22, 1603, 494, 846, 17.06, 0.95, 0.03),
+    Row(FailureReason::kCoreDump, "Core dump", false, true, true,  //
+        2912, 1784, 122, 0.85, 72.75, 431.65, 3.35, 1936, 496, 480, 3.02, 0.95, 0.03),
+    Row(FailureReason::kInvalidMemAccess, "Invalid mem access", false, true, false,  //
+        2602, 1235, 108, 1.03, 403.50, 1357.38, 3.82, 712, 774, 1116, 4.75, 0.95, 0.03),
+    Row(FailureReason::kModelCkptError, "Model ckpt error", true, false, false,  //
+        1995, 948, 85, 181.67, 3728.93, 8196.02, 21.73, 743, 384, 868, 16.33, 0.85,
+        0.05),
+    Row(FailureReason::kCudaFailure, "CUDA failure", false, true, false,  //
+        1484, 571, 70, 1.32, 19.87, 82.17, 0.62, 133, 1153, 198, 0.72, 0.92, 0.03),
+    Row(FailureReason::kSyntaxError, "Syntax error", false, true, true,  //
+        1132, 883, 110, 0.58, 5.02, 12.00, 0.19, 780, 184, 168, 0.26, 0.90, 0.08),
+    Row(FailureReason::kTracebackFromCrash, "Traceback from crash", true, true, true,  //
+        777, 271, 44, 1.02, 894.33, 1394.07, 2.34, 356, 277, 144, 1.74, 0.93, 0.03),
+    Row(FailureReason::kMpiError, "MPI error", false, true, false,  //
+        634, 166, 28, 1.62, 3015.27, 5143.98, 3.70, 456, 54, 124, 1.24, 0.90, 0.03),
+    Row(FailureReason::kGpuOutOfMemory, "GPU out of memory", false, true, false,  //
+        487, 261, 35, 18.53, 353.62, 2740.28, 1.08, 237, 70, 180, 2.10, 0.93, 0.03),
+    Row(FailureReason::kMpiRuntimeFailure, "MPI runtime failure", true, false, false,  //
+        478, 420, 96, 1389.48, 13778.60, 18090.88, 14.63, 240, 141, 97, 15.34, 0.80,
+        0.05),
+    Row(FailureReason::kPermissionError, "Permission error", true, false, false,  //
+        299, 151, 37, 1.00, 8.15, 15.85, 0.07, 56, 202, 41, 0.03, 0.95, 0.02),
+    Row(FailureReason::kImportError, "Import error", false, true, true,  //
+        148, 148, 41, 0.67, 4.58, 10.73, 0.06, 108, 30, 10, 0.02, 0.95, 0.03),
+    Row(FailureReason::kJobPreempted, "Job preempted", true, false, false,  //
+        147, 95, 34, 559.08, 2682.85, 5892.23, 1.66, 25, 95, 27, 4.73, 0.20, 0.05),
+    Row(FailureReason::kCudaInitFailed, "CUDA init failed", true, false, false,  //
+        141, 69, 20, 1.08, 2.18, 4.63, 0.03, 16, 66, 59, 0.13, 0.70, 0.05),
+    Row(FailureReason::kModelDiverged, "Model diverged", false, false, true,  //
+        84, 30, 5, 1.48, 44.37, 76.53, 0.01, 78, 5, 1, 0.01, 0.80, 0.15),
+    Row(FailureReason::kCudaVersionMismatch, "CUDA ver. mismatch", false, false, true,  //
+        49, 49, 19, 0.83, 1.65, 1.67, 0.00, 1, 1, 47, 0.00, 0.95, 0.02),
+    Row(FailureReason::kGpuEccError, "GPU ECC error", true, false, false,  //
+        10, 10, 2, 26.82, 671.92, 2035.02, 0.03, 1, 5, 4, 0.05, 0.50, 0.05),
+    Row(FailureReason::kOutputNodeError, "Output node error", false, true, false,  //
+        3, 3, 1, 0.85, 0.95, 0.95, 0.00, 3, 0, 0, 0.00, 0.95, 0.02),
+    Row(FailureReason::kCannotLoadLibs, "Cannot load libs", false, true, false,  //
+        1, 1, 1, 0.12, 0.12, 0.12, 0.00, 1, 0, 0, 0.00, 0.95, 0.02),
+    Row(FailureReason::kNoSignature, "No signature", false, false, false,  //
+        1684, 698, 94, 1.87, 28.00, 95.17, 0.42, 1235, 294, 155, 0.21, 0.93, 0.03),
+}};
+
+}  // namespace
+
+std::string_view ToString(FailureReason reason) { return InfoOf(reason).name; }
+
+DemandBucket DemandBucketOf(int num_gpus) {
+  if (num_gpus <= 1) {
+    return DemandBucket::k1Gpu;
+  }
+  if (num_gpus <= 4) {
+    return DemandBucket::k2To4Gpu;
+  }
+  return DemandBucket::kGt4Gpu;
+}
+
+std::string_view ToString(DemandBucket bucket) {
+  switch (bucket) {
+    case DemandBucket::k1Gpu:
+      return "1";
+    case DemandBucket::k2To4Gpu:
+      return "2-4";
+    case DemandBucket::kGt4Gpu:
+      return ">4";
+  }
+  return "?";
+}
+
+std::span<const FailureReasonInfo, kNumFailureReasons> FailureCatalog() {
+  return kCatalog;
+}
+
+const FailureReasonInfo& InfoOf(FailureReason reason) {
+  const auto idx = static_cast<size_t>(reason);
+  assert(idx < kCatalog.size());
+  return kCatalog[idx];
+}
+
+double TotalPaperTrials() {
+  double total = 0.0;
+  for (const auto& info : kCatalog) {
+    total += info.paper_trials;
+  }
+  return total;
+}
+
+}  // namespace philly

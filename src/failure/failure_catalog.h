@@ -1,0 +1,112 @@
+// Failure taxonomy: the 22 failure reasons of Table 7 with their published
+// statistics, used both to drive the failure injector and as the reference the
+// reproduced table is compared against.
+//
+// Category flags follow the paper's three sources: Infrastructure (IF) —
+// YARN/HDFS/framework components; AI Engine (AE) — TensorFlow/Torch/etc.;
+// User (U) — programmer errors. A reason may belong to several categories.
+
+#ifndef SRC_FAILURE_FAILURE_CATALOG_H_
+#define SRC_FAILURE_FAILURE_CATALOG_H_
+
+#include <array>
+#include <span>
+#include <string_view>
+
+#include "src/common/distributions.h"
+#include "src/workload/job.h"
+
+namespace philly {
+
+enum class FailureReason {
+  kCpuOutOfMemory,
+  kIncorrectInputs,
+  kSemanticError,
+  kCoreDump,
+  kInvalidMemAccess,
+  kModelCkptError,
+  kCudaFailure,
+  kSyntaxError,
+  kTracebackFromCrash,
+  kMpiError,
+  kGpuOutOfMemory,
+  kMpiRuntimeFailure,
+  kPermissionError,
+  kImportError,
+  kJobPreempted,
+  kCudaInitFailed,
+  kModelDiverged,
+  kCudaVersionMismatch,
+  kGpuEccError,
+  kOutputNodeError,
+  kCannotLoadLibs,
+  kNoSignature,
+};
+
+inline constexpr int kNumFailureReasons = 22;
+
+std::string_view ToString(FailureReason reason);
+
+// Demand-mix buckets used by Table 7's "GPU Demand" columns.
+enum class DemandBucket { k1Gpu, k2To4Gpu, kGt4Gpu };
+inline constexpr int kNumDemandBuckets = 3;
+DemandBucket DemandBucketOf(int num_gpus);
+std::string_view ToString(DemandBucket bucket);
+
+struct FailureReasonInfo {
+  FailureReason reason = FailureReason::kNoSignature;
+  std::string_view name;
+
+  // Category membership.
+  bool infrastructure = false;
+  bool ai_engine = false;
+  bool user = false;
+
+  // Published occurrence statistics (Table 7 columns 3).
+  double paper_trials = 0.0;
+  double paper_jobs = 0.0;
+  double paper_users = 0.0;
+
+  // Published runtime-to-failure percentiles, in minutes (columns 4).
+  double rtf_p50_min = 0.0;
+  double rtf_p90_min = 0.0;
+  double rtf_p95_min = 0.0;
+  // Published share of summed RTF across all failures (column "Total %").
+  double rtf_total_share = 0.0;
+
+  // Published GPU-demand occurrence counts (columns 5: 1 / 2-4 / >4 GPUs).
+  std::array<double, kNumDemandBuckets> demand_counts = {0, 0, 0};
+
+  // Published RTF x demand share (column 6, %).
+  double rtf_x_demand_share = 0.0;
+
+  // --- Derived / modeling parameters (not printed by the paper) ---
+  // Lognormal fitted from (p50, p90); p95 is then implied by the fit.
+  LognormalSpec rtf_fit;
+  // Mean number of failure trials a job affected by this reason accrues
+  // (Trial / Job from the table).
+  double mean_trials_per_job = 1.0;
+  // Exponent of the RTF scaling with GPU demand: sampled RTFs are multiplied
+  // by num_gpus^demand_rtf_exponent. Zero for most reasons; positive for
+  // semantic errors, whose distributed-synchronization bugs surface only
+  // after long runs on large jobs (§4.2.4 / Figure 10).
+  double demand_rtf_exponent = 0.0;
+  // Probability the affected job ends `unsuccessful` (vs. the user killing it
+  // after failures, vs. recovering and running clean). Transient
+  // infrastructure reasons recover more often.
+  double unsuccessful_prob = 0.94;
+  double killed_after_failure_prob = 0.03;
+};
+
+// The full catalog, indexed by FailureReason.
+std::span<const FailureReasonInfo, kNumFailureReasons> FailureCatalog();
+
+const FailureReasonInfo& InfoOf(FailureReason reason);
+
+// Sum of paper_trials over the catalog (the denominator of "Total %"-style
+// shares; 39776 events in the published table).
+double TotalPaperTrials();
+
+}  // namespace philly
+
+#endif  // SRC_FAILURE_FAILURE_CATALOG_H_

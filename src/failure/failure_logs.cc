@@ -1,0 +1,291 @@
+#include "src/failure/failure_logs.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/strings.h"
+
+namespace philly {
+namespace {
+
+// Message templates per reason. {} placeholders are filled with small random
+// integers to vary the text without changing the signature.
+struct TemplateSet {
+  FailureReason reason;
+  std::vector<const char*> templates;
+  bool wrap_in_traceback;  // render inside a Python traceback
+};
+
+const std::vector<TemplateSet>& Templates() {
+  static const std::vector<TemplateSet> kTemplates = {
+      {FailureReason::kCpuOutOfMemory,
+       {"MemoryError",
+        "OSError: [Errno 12] Cannot allocate memory",
+        "Out of memory: Kill process {} (python) score 987 or sacrifice child",
+        "Container killed by the ApplicationMaster. Exit code is 137"},
+       true},
+      {FailureReason::kIncorrectInputs,
+       {"FileNotFoundError: [Errno 2] No such file or directory: "
+        "'hdfs://cluster/data/train_{}.tfrecord'",
+        "org.apache.hadoop.hdfs.BlockMissingException: Could not obtain block "
+        "blk_{}",
+        "ValueError: could not parse serialized Example from record {}",
+        "IOError: corrupted record at offset {}",
+        "tf.errors.DataLossError: truncated record at {}"},
+       true},
+      {FailureReason::kSemanticError,
+       {"AttributeError: module 'tensorflow' has no attribute 'contrib_{}'",
+        "TypeError: forward() takes {} positional arguments but 4 were given",
+        "ValueError: Dimensions must be equal, but are {} and 512",
+        "KeyError: 'layer_{}/weights'",
+        "RuntimeError: Error(s) in loading state_dict: size mismatch for fc.weight"},
+       true},
+      {FailureReason::kCoreDump,
+       {"Segmentation fault (core dumped)", "Aborted (core dumped)",
+        "*** Error in `python': double free or corruption (!prev): 0x{}",
+        "Bus error (core dumped)"},
+       false},
+      {FailureReason::kInvalidMemAccess,
+       {"RuntimeError: CUDA error: an illegal memory access was encountered",
+        "RuntimeError: CUDA error: misaligned address",
+        "terminate called after throwing an instance of 'c10::Error': invalid "
+        "pointer 0x{}"},
+       false},
+      {FailureReason::kModelCkptError,
+       {"Failed to save checkpoint to hdfs://cluster/models/ckpt-{}: lease "
+        "recovery in progress",
+        "org.apache.hadoop.ipc.RemoteException: Name node is in safe mode",
+        "checkpoint write failed after epoch {}: HDFS pipeline broken"},
+       false},
+      {FailureReason::kCudaFailure,
+       {"RuntimeError: CUDA error: unspecified launch failure",
+        "cudaErrorLaunchTimeout: the launch timed out and was terminated",
+        "CUDNN_STATUS_EXECUTION_FAILED", "CUDNN_STATUS_INTERNAL_ERROR at layer {}"},
+       false},
+      {FailureReason::kSyntaxError,
+       {"SyntaxError: invalid syntax", "IndentationError: unexpected indent",
+        "SyntaxError: EOL while scanning string literal",
+        "SyntaxError: unexpected EOF while parsing"},
+       true},
+      {FailureReason::kTracebackFromCrash,
+       {"Exception: training aborted unexpectedly",
+        "RuntimeError: unknown error at iteration {}",
+        "Exception in thread worker-{}: unhandled exception"},
+       true},
+      {FailureReason::kMpiError,
+       {"MPI_ABORT was invoked on rank {} in communicator MPI_COMM_WORLD",
+        "MPI_ERR_TRUNCATE: message truncated",
+        "mpirun noticed that process rank {} exited on signal 6"},
+       false},
+      {FailureReason::kGpuOutOfMemory,
+       {"RuntimeError: CUDA out of memory. Tried to allocate {}.00 MiB",
+        "cudaErrorMemoryAllocation: out of memory", "CUDNN_STATUS_ALLOC_FAILED"},
+       false},
+      {FailureReason::kMpiRuntimeFailure,
+       {"ORTE daemon has unexpectedly failed after launch on node gpu-{}",
+        "btl_tcp_endpoint: connection reset by peer (rank {})",
+        "MPI runtime: socket closed by remote peer during allreduce"},
+       false},
+      {FailureReason::kPermissionError,
+       {"PermissionError: [Errno 13] Permission denied: '/var/storage/out_{}'",
+        "org.apache.hadoop.security.AccessControlException: Permission denied: "
+        "user=svc{}"},
+       true},
+      {FailureReason::kImportError,
+       {"ImportError: No module named custom_ops_{}",
+        "ModuleNotFoundError: No module named 'apex'"},
+       true},
+      {FailureReason::kJobPreempted,
+       {"Container preempted by scheduler: releasing GPUs for queue rebalance",
+        "YARN: container container_{} released on preemption request"},
+       false},
+      {FailureReason::kCudaInitFailed,
+       {"failed call to cuInit: CUDA_ERROR_NO_DEVICE",
+        "CUDA initialization failure with error {}",
+        "cudaErrorDevicesUnavailable: all CUDA-capable devices are busy"},
+       false},
+      {FailureReason::kModelDiverged,
+       {"training diverged: loss is NaN at iteration {}",
+        "gradient overflow detected, loss=inf, aborting",
+        "assert not torch.isnan(loss).any(): Loss is NaN"},
+       false},
+      {FailureReason::kCudaVersionMismatch,
+       {"CUDA driver version is insufficient for CUDA runtime version",
+        "cuDNN library version mismatch: compiled 7.{}, loaded 6.0"},
+       false},
+      {FailureReason::kGpuEccError,
+       {"NVRM: Xid 48: double bit ECC error detected",
+        "GPU {} has fallen off the bus: double-bit ECC row remap failure"},
+       false},
+      {FailureReason::kOutputNodeError,
+       {"tf.errors.NotFoundError: Output node 'softmax_{}' not found in graph",
+        "fetch target 'output' cannot be found in the graph"},
+       false},
+      {FailureReason::kCannotLoadLibs,
+       {"error while loading shared libraries: libcudart.so.9.{}: cannot open "
+        "shared object file",
+        "OSError: libcudnn.so.7: cannot open shared object file"},
+       false},
+      {FailureReason::kNoSignature,
+       {"job process exited with code -1 and no diagnostics",
+        "worker {} terminated unexpectedly", "exit status 255",
+        "application master signalled shutdown"},
+       false},
+  };
+  return kTemplates;
+}
+
+std::string FillTemplate(const char* tmpl, Rng& rng) {
+  std::string out;
+  for (const char* p = tmpl; *p != '\0'; ++p) {
+    if (p[0] == '{' && p[1] == '}') {
+      out += std::to_string(rng.Between(1, 4096));
+      ++p;
+    } else {
+      out += *p;
+    }
+  }
+  return out;
+}
+
+const TemplateSet& SetFor(FailureReason reason) {
+  for (const auto& set : Templates()) {
+    if (set.reason == reason) {
+      return set;
+    }
+  }
+  return Templates().back();  // kNoSignature
+}
+
+}  // namespace
+
+std::vector<std::string> FailureLogSynthesizer::LinesFor(FailureReason reason,
+                                                         Rng& rng) const {
+  std::vector<std::string> lines;
+  // Normal progress noise first.
+  const int noise = static_cast<int>(rng.Between(1, 4));
+  for (int i = 0; i < noise; ++i) {
+    lines.push_back("INFO worker " + std::to_string(rng.Between(0, 15)) +
+                    ": step time " + FormatDouble(rng.Uniform(0.1, 2.0), 3) + "s");
+  }
+  const TemplateSet& set = SetFor(reason);
+  const auto& tmpl = set.templates[rng.Below(set.templates.size())];
+  const std::string message = FillTemplate(tmpl, rng);
+  if (set.wrap_in_traceback && rng.Bernoulli(0.7)) {
+    lines.push_back("Traceback (most recent call last):");
+    lines.push_back("  File \"train.py\", line " + std::to_string(rng.Between(10, 900)) +
+                    ", in main");
+    lines.push_back("  File \"model.py\", line " + std::to_string(rng.Between(10, 400)) +
+                    ", in forward");
+  }
+  lines.push_back(message);
+  return lines;
+}
+
+std::string FailureLogSynthesizer::EpochLossLine(int epoch, int total_epochs,
+                                                 double loss) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Epoch %d/%d: loss=%.6f", epoch, total_epochs, loss);
+  return buf;
+}
+
+bool ParseEpochLossLine(std::string_view line, EpochLoss* out) {
+  int epoch = 0;
+  int total = 0;
+  double loss = 0.0;
+  // std::sscanf needs a NUL-terminated buffer.
+  const std::string buf(line);
+  if (std::sscanf(buf.c_str(), "Epoch %d/%d: loss=%lf", &epoch, &total, &loss) != 3) {
+    return false;
+  }
+  out->epoch = epoch;
+  out->total_epochs = total;
+  out->loss = loss;
+  return true;
+}
+
+FailureClassifier::FailureClassifier() {
+  const auto add = [this](FailureReason reason, int priority,
+                          std::initializer_list<const char*> patterns) {
+    for (const char* p : patterns) {
+      rules_.push_back({p, reason, priority});
+    }
+  };
+  // Root-cause signatures (priority 10): most specific first.
+  add(FailureReason::kGpuOutOfMemory, 10,
+      {"CUDA out of memory", "cudaErrorMemoryAllocation", "CUDNN_STATUS_ALLOC_FAILED"});
+  add(FailureReason::kCpuOutOfMemory, 10,
+      {"MemoryError", "Cannot allocate memory", "Out of memory: Kill process",
+       "Exit code is 137", "std::bad_alloc", "Killed process", "oom-killer",
+       "virtual memory exhausted"});
+  add(FailureReason::kIncorrectInputs, 10,
+      {"No such file or directory: 'hdfs://", "BlockMissingException",
+       "could not parse serialized Example", "corrupted record at offset",
+       "DataLossError", "FileNotFoundError", "truncated record",
+       "cannot read input shard", "inconsistent number of columns"});
+  add(FailureReason::kModelCkptError, 10,
+      {"Failed to save checkpoint", "Name node is in safe mode",
+       "checkpoint write failed", "lease recovery in progress",
+       "HDFS pipeline broken", "could not complete file /models"});
+  add(FailureReason::kInvalidMemAccess, 10,
+      {"illegal memory access", "misaligned address", "invalid pointer"});
+  add(FailureReason::kCudaVersionMismatch, 10,
+      {"driver version is insufficient", "library version mismatch"});
+  add(FailureReason::kCudaInitFailed, 10,
+      {"cuInit", "CUDA initialization failure", "cudaErrorDevicesUnavailable"});
+  add(FailureReason::kGpuEccError, 10,
+      {"double bit ECC", "double-bit ECC", "Xid 48", "Xid 63",
+       "fallen off the bus", "uncorrectable ECC"});
+  add(FailureReason::kCudaFailure, 20,
+      {"unspecified launch failure", "cudaErrorLaunchTimeout",
+       "CUDNN_STATUS_EXECUTION_FAILED", "CUDNN_STATUS_INTERNAL_ERROR",
+       "CUDNN_STATUS_NOT_INITIALIZED", "device-side assert triggered"});
+  // Generic CUDA catch-all after every specific CUDA signature.
+  add(FailureReason::kCudaFailure, 40, {"CUDA error:", "cudaError"});
+  add(FailureReason::kSyntaxError, 10,
+      {"SyntaxError", "IndentationError", "unexpected EOF while parsing"});
+  add(FailureReason::kImportError, 10, {"ImportError", "ModuleNotFoundError"});
+  add(FailureReason::kPermissionError, 10,
+      {"PermissionError", "Permission denied", "AccessControlException"});
+  add(FailureReason::kSemanticError, 20,
+      {"AttributeError", "TypeError", "KeyError", "Dimensions must be equal",
+       "size mismatch for"});
+  add(FailureReason::kModelDiverged, 10,
+      {"loss is NaN", "Loss is NaN", "loss=inf", "gradient overflow"});
+  add(FailureReason::kMpiRuntimeFailure, 10,
+      {"ORTE daemon", "connection reset by peer", "socket closed by remote peer"});
+  add(FailureReason::kMpiError, 20,
+      {"MPI_ABORT", "MPI_ERR", "exited on signal", "PMIX ERROR"});
+  add(FailureReason::kCoreDump, 30,
+      {"core dumped", "double free or corruption", "Exit code is 134",
+       "stack smashing detected", "SIGSEGV", "SIGABRT"});
+  add(FailureReason::kJobPreempted, 10,
+      {"preempted by scheduler", "released on preemption"});
+  add(FailureReason::kOutputNodeError, 10,
+      {"Output node", "fetch target 'output'"});
+  add(FailureReason::kCannotLoadLibs, 10,
+      {"error while loading shared libraries", "cannot open shared object file"});
+  // Implicit signature (priority 900): a traceback whose root cause none of
+  // the explicit rules recognized.
+  add(FailureReason::kTracebackFromCrash, 900,
+      {"Traceback (most recent call last):", "unhandled exception",
+       "training aborted unexpectedly", "RuntimeError: unknown error"});
+
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const SignatureRule& a, const SignatureRule& b) {
+                     return a.priority < b.priority;
+                   });
+}
+
+FailureReason FailureClassifier::Classify(std::span<const std::string> lines) const {
+  for (const auto& rule : rules_) {
+    for (const auto& line : lines) {
+      if (Contains(line, rule.pattern)) {
+        return rule.reason;
+      }
+    }
+  }
+  return FailureReason::kNoSignature;
+}
+
+}  // namespace philly

@@ -1,0 +1,40 @@
+#include "src/failure/retry_policy.h"
+
+namespace philly {
+
+bool AdaptiveRetryPolicy::ShouldRetry(FailureReason reason, int attempt_index) const {
+  if (attempt_index >= max_retries_) {
+    return false;
+  }
+  switch (reason) {
+    // Deterministic user/programming errors: retrying re-runs the same bug.
+    case FailureReason::kSyntaxError:
+    case FailureReason::kImportError:
+    case FailureReason::kSemanticError:
+    case FailureReason::kIncorrectInputs:
+    case FailureReason::kPermissionError:
+    case FailureReason::kCudaVersionMismatch:
+    case FailureReason::kCannotLoadLibs:
+    case FailureReason::kOutputNodeError:
+    case FailureReason::kModelDiverged:
+    case FailureReason::kCpuOutOfMemory:
+    case FailureReason::kGpuOutOfMemory:
+      return false;
+    // Transient infrastructure / runtime conditions: retry.
+    case FailureReason::kModelCkptError:
+    case FailureReason::kMpiError:
+    case FailureReason::kMpiRuntimeFailure:
+    case FailureReason::kJobPreempted:
+    case FailureReason::kCudaInitFailed:
+    case FailureReason::kGpuEccError:
+    case FailureReason::kCudaFailure:
+    case FailureReason::kCoreDump:
+    case FailureReason::kInvalidMemAccess:
+    case FailureReason::kTracebackFromCrash:
+    case FailureReason::kNoSignature:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace philly

@@ -1,0 +1,192 @@
+#include "src/sched/placement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace philly {
+namespace {
+
+// Racks ordered emptiest-first (by free GPUs, descending), ties by id for
+// determinism.
+std::vector<RackId> RankedRacks(const Cluster& cluster) {
+  std::vector<RackId> racks(static_cast<size_t>(cluster.NumRacks()));
+  for (int r = 0; r < cluster.NumRacks(); ++r) {
+    racks[static_cast<size_t>(r)] = r;
+  }
+  std::sort(racks.begin(), racks.end(), [&](RackId a, RackId b) {
+    const int fa = cluster.RackFreeGpus(a);
+    const int fb = cluster.RackFreeGpus(b);
+    if (fa != fb) {
+      return fa > fb;
+    }
+    return a < b;
+  });
+  return racks;
+}
+
+// Servers of one rack ordered emptiest-first.
+std::vector<ServerId> RankedServers(const Cluster& cluster, RackId rack) {
+  std::vector<ServerId> servers = cluster.ServersInRack(rack);
+  std::stable_sort(servers.begin(), servers.end(), [&](ServerId a, ServerId b) {
+    return cluster.ServerFree(a) > cluster.ServerFree(b);
+  });
+  return servers;
+}
+
+// Greedy shard assignment over `servers`: biggest shards first.
+std::optional<Placement> TakeGreedy(const Cluster& cluster,
+                                    const std::vector<ServerId>& servers, int gpus,
+                                    int max_servers) {
+  Placement placement;
+  int remaining = gpus;
+  for (ServerId s : servers) {
+    if (remaining <= 0 || placement.NumServers() >= max_servers) {
+      break;
+    }
+    const int take = std::min(remaining, cluster.ServerFree(s));
+    if (take > 0) {
+      placement.shards.push_back({s, take});
+      remaining -= take;
+    }
+  }
+  if (remaining > 0) {
+    return std::nullopt;
+  }
+  return placement;
+}
+
+}  // namespace
+
+LocalityPlacer::LocalityPlacer(PlacerConfig config) : config_(config) {}
+
+std::optional<Placement> LocalityPlacer::PlaceOnSingleServer(const Cluster& cluster,
+                                                             int gpus) const {
+  ServerId best = -1;
+  int best_free = 0;
+  for (ServerId s = 0; s < cluster.NumServers(); ++s) {
+    const int free = cluster.ServerFree(s);
+    if (free < gpus) {
+      continue;
+    }
+    if (config_.pack_small_jobs && gpus < cluster.ServerCapacity(s)) {
+      // Best-fit: tightest server that fits, to limit fragmentation.
+      if (best == -1 || free < best_free) {
+        best = s;
+        best_free = free;
+      }
+    } else {
+      // Whole-server (or dedicated-placement mode): emptiest server first.
+      if (best == -1 || free > best_free) {
+        best = s;
+        best_free = free;
+      }
+    }
+  }
+  if (best == -1) {
+    return std::nullopt;
+  }
+  Placement placement;
+  placement.shards.push_back({best, gpus});
+  return placement;
+}
+
+std::optional<Placement> LocalityPlacer::PlaceInSingleRack(const Cluster& cluster,
+                                                           int gpus,
+                                                           bool min_servers) const {
+  for (RackId rack : RankedRacks(cluster)) {
+    if (cluster.RackFreeGpus(rack) < gpus) {
+      continue;
+    }
+    const std::vector<ServerId> servers = RankedServers(cluster, rack);
+    if (min_servers) {
+      // Strict: only fully-free (or max-capacity-free) shards so the job uses
+      // the theoretical minimum number of servers in this rack.
+      int max_cap = 0;
+      for (ServerId s : servers) {
+        max_cap = std::max(max_cap, cluster.ServerCapacity(s));
+      }
+      const int needed = (gpus + max_cap - 1) / max_cap;
+      auto placement = TakeGreedy(cluster, servers, gpus, needed);
+      if (placement.has_value()) {
+        return placement;
+      }
+      continue;
+    }
+    auto placement = TakeGreedy(cluster, servers, gpus, config_.max_spread_servers);
+    if (placement.has_value()) {
+      return placement;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Placement> LocalityPlacer::PlaceAnywhere(const Cluster& cluster, int gpus,
+                                                       bool min_servers) const {
+  // Rack-major scan, emptiest racks and servers first.
+  std::vector<ServerId> servers;
+  servers.reserve(static_cast<size_t>(cluster.NumServers()));
+  for (RackId rack : RankedRacks(cluster)) {
+    for (ServerId s : RankedServers(cluster, rack)) {
+      servers.push_back(s);
+    }
+  }
+  if (min_servers) {
+    // Emptiest-first across everything minimizes server count greedily.
+    std::stable_sort(servers.begin(), servers.end(), [&](ServerId a, ServerId b) {
+      return cluster.ServerFree(a) > cluster.ServerFree(b);
+    });
+  }
+  return TakeGreedy(cluster, servers, gpus, config_.max_spread_servers);
+}
+
+std::optional<Placement> LocalityPlacer::FindPlacement(const Cluster& cluster, int gpus,
+                                                       int relax_level) const {
+  assert(gpus > 0);
+  if (gpus > cluster.NumFreeGpus()) {
+    return std::nullopt;
+  }
+  int max_server_cap = 0;
+  for (ServerId s = 0; s < cluster.NumServers(); ++s) {
+    max_server_cap = std::max(max_server_cap, cluster.ServerCapacity(s));
+  }
+
+  if (gpus <= max_server_cap) {
+    // Sub-server or whole-server job: strict locality means one server.
+    auto single = PlaceOnSingleServer(cluster, gpus);
+    if (single.has_value() || relax_level == 0) {
+      return single;
+    }
+    // Relaxed: allow spreading within a rack, then anywhere.
+    if (relax_level >= 1) {
+      auto in_rack = PlaceInSingleRack(cluster, gpus, /*min_servers=*/false);
+      if (in_rack.has_value() &&
+          in_rack->NumServers() <= (relax_level == 1 ? 2 : 4)) {
+        return in_rack;
+      }
+    }
+    if (relax_level >= 2) {
+      // Even fully relaxed, a sub-server job never spreads beyond 4 servers:
+      // shards of one or two GPUs are all overhead and no locality.
+      auto anywhere = PlaceAnywhere(cluster, gpus, /*min_servers=*/true);
+      if (anywhere.has_value() && anywhere->NumServers() <= 4) {
+        return anywhere;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Multi-server job.
+  switch (relax_level) {
+    case 0:
+      return PlaceInSingleRack(cluster, gpus, /*min_servers=*/true);
+    case 1:
+      return PlaceInSingleRack(cluster, gpus, /*min_servers=*/false);
+    case 2:
+      return PlaceAnywhere(cluster, gpus, /*min_servers=*/true);
+    default:
+      return PlaceAnywhere(cluster, gpus, /*min_servers=*/false);
+  }
+}
+
+}  // namespace philly

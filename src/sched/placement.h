@@ -1,0 +1,63 @@
+// Locality-aware gang placement (§2.3).
+//
+// The scheduler ranks racks (RDMA domains) by increasing occupancy and
+// servers within a rack the same way, so it considers the emptiest domains
+// first — that is where a gang has the best chance of landing with locality.
+// Small jobs are packed best-fit into partially used servers to limit
+// fragmentation; whole-server and multi-server jobs take the emptiest
+// servers.
+//
+// Locality is expressed as a relaxation level, raised by the scheduler after
+// repeated failed acquisition attempts (§2.3: "locality constraints are
+// relaxed after a scheduling request has been retried a fixed number of
+// times"):
+//   level 0 — strict: minimum possible server count, single RDMA domain
+//   level 1 — single RDMA domain, any server count
+//   level 2 — minimum server count per rack-major scan, domains may be mixed
+//   level 3 — any free GPUs anywhere (up to a spread cap)
+
+#ifndef SRC_SCHED_PLACEMENT_H_
+#define SRC_SCHED_PLACEMENT_H_
+
+#include <optional>
+
+#include "src/cluster/cluster.h"
+
+namespace philly {
+
+inline constexpr int kMaxRelaxLevel = 3;
+
+struct PlacerConfig {
+  // Pack sub-server jobs into partially occupied servers (best-fit). The §5
+  // "mitigating interference" ablation turns this off to give small jobs
+  // dedicated servers.
+  bool pack_small_jobs = true;
+  // Upper bound on servers a fully relaxed job may spread over (the paper
+  // observes >8-GPU jobs landing on up to 16 servers).
+  int max_spread_servers = 16;
+};
+
+class LocalityPlacer {
+ public:
+  explicit LocalityPlacer(PlacerConfig config = {});
+
+  // Finds a gang placement for `gpus` GPUs at the given relaxation level, or
+  // nullopt if none exists. Never allocates — the caller owns that.
+  std::optional<Placement> FindPlacement(const Cluster& cluster, int gpus,
+                                         int relax_level) const;
+
+  const PlacerConfig& config() const { return config_; }
+
+ private:
+  std::optional<Placement> PlaceOnSingleServer(const Cluster& cluster, int gpus) const;
+  std::optional<Placement> PlaceInSingleRack(const Cluster& cluster, int gpus,
+                                             bool min_servers) const;
+  std::optional<Placement> PlaceAnywhere(const Cluster& cluster, int gpus,
+                                         bool min_servers) const;
+
+  PlacerConfig config_;
+};
+
+}  // namespace philly
+
+#endif  // SRC_SCHED_PLACEMENT_H_

@@ -1,0 +1,41 @@
+#include "src/sched/scheduler_config.h"
+
+namespace philly {
+
+SchedulerConfig SchedulerConfig::Philly() {
+  SchedulerConfig c;
+  c.name = "philly";
+  return c;
+}
+
+SchedulerConfig SchedulerConfig::Fifo() {
+  SchedulerConfig c;
+  c.name = "fifo";
+  c.allow_out_of_order = false;
+  return c;
+}
+
+SchedulerConfig SchedulerConfig::Optimus() {
+  SchedulerConfig c;
+  c.name = "optimus-srtf";
+  c.ordering = QueueOrdering::kShortestRemainingFirst;
+  c.priority_preemption = true;
+  return c;
+}
+
+SchedulerConfig SchedulerConfig::Tiresias() {
+  SchedulerConfig c;
+  c.name = "tiresias-las";
+  c.ordering = QueueOrdering::kLeastAttainedServiceFirst;
+  c.priority_preemption = true;
+  return c;
+}
+
+SchedulerConfig SchedulerConfig::Gandiva() {
+  SchedulerConfig c;
+  c.name = "gandiva-timeslice";
+  c.time_slicing = true;
+  return c;
+}
+
+}  // namespace philly

@@ -1,0 +1,118 @@
+// Scheduler policy configuration and the Table 1 presets.
+//
+// One runtime (src/sched/simulation.h) executes all scheduler variants; the
+// policy differences from Table 1 — queue ordering, time-slicing, locality
+// handling — are expressed in this config:
+//
+//                Philly      Gandiva      Optimus     Tiresias
+//   Objective    consolid.   consolid.    avg JCT     avg JCT
+//   Algorithm    locality    time-share   SRTF        LAS (attained service)
+//   Input        arrival     n/a          remaining   attained service
+//   Preemption   checkpoint  ctx switch   checkpoint  checkpoint
+
+#ifndef SRC_SCHED_SCHEDULER_CONFIG_H_
+#define SRC_SCHED_SCHEDULER_CONFIG_H_
+
+#include <string>
+
+#include "src/common/sim_time.h"
+#include "src/sched/placement.h"
+
+namespace philly {
+
+enum class QueueOrdering {
+  kFifoArrival,                // Philly / Gandiva: arrival time
+  kShortestRemainingFirst,     // Optimus: oracle remaining time
+  kLeastAttainedServiceFirst,  // Tiresias: GPU-time attained so far
+};
+
+struct SchedulerConfig {
+  std::string name = "philly";
+  QueueOrdering ordering = QueueOrdering::kFifoArrival;
+
+  // Gang acquisition: retry cadence and the relaxation ladder (§2.3: 2-3
+  // minute acquisition timeout, 2 minute backoff, relax after a fixed number
+  // of retries). A waiting job's relax level rises one step per relax_period
+  // of waiting, capped at max_relax_level — time-based, mirroring the
+  // timeout-and-backoff loop, so a job gets a real window to acquire its
+  // strict-locality placement before it starts spreading.
+  SimDuration sched_backoff = Minutes(2);
+  SimDuration relax_period = Minutes(30);
+  // Locality-wait ablation (§5 "prioritizing locality"): minimum time a job
+  // must wait before any relaxation is considered, regardless of attempts.
+  SimDuration min_wait_before_relax = 0;
+  // Cap the relax level (paper scheduler: kMaxRelaxLevel; the strict-locality
+  // ablation sets 0).
+  int max_relax_level = kMaxRelaxLevel;
+
+  // Fair share / preemption (§2.3): preemption starts only when >=90% of
+  // GPUs are in use; victims come from over-quota VCs, checkpoint + requeue.
+  bool enable_preemption = true;
+  double preemption_threshold = 0.90;
+  // Preempt only for jobs that have already waited this long, and at most
+  // once per cooldown window — production preemption is a rare, last-resort
+  // action (147 preemption events in the paper's 75-day trace).
+  SimDuration preemption_min_wait = Hours(1);
+  SimDuration preemption_cooldown = Hours(5);
+
+  // Tiresias discretizes attained service into bands (its "discretized
+  // 2D-LAS"): jobs in the same band are FIFO-ordered, which prevents the
+  // perpetual mutual preemption a continuous least-attained-service rule
+  // suffers. Band width in attained GPU-hours.
+  double las_band_gpu_hours = 8.0;
+
+  // JCT-oriented baselines (Optimus/Tiresias) preempt running jobs whose
+  // priority key is worse than a waiting job's, via model-checkpoint
+  // suspension (Table 1). Victims must have run at least `min_run` to bound
+  // churn.
+  bool priority_preemption = false;
+  SimDuration priority_preemption_min_run = Minutes(10);
+
+  // Allow scheduling a later-arrived job when earlier ones do not fit
+  // (work-conserving YARN behaviour; §3.1.1 out-of-order analysis).
+  bool allow_out_of_order = true;
+
+  // §5 "improving failure handling": pre-run every multi-GPU job briefly on
+  // a single GPU from a dedicated cheap pool before gang scheduling it ("we
+  // plan to set up a pool of cheaper VMs to pre-run jobs ... even running
+  // multi-GPU jobs on a single GPU will catch such errors"). Failures whose
+  // first iterations crash are caught at 1-GPU cost instead of full-gang
+  // cost, for a small start delay and pool GPU time.
+  bool enable_prerun_pool = false;
+  int prerun_pool_gpus = 16;
+  SimDuration prerun_cap = Minutes(10);
+
+  // §5 "mitigating interference": checkpoint-based migration that
+  // periodically evacuates lightly-used servers (suspending their small
+  // local jobs for re-placement elsewhere) to defragment the cluster —
+  // the paper's prerequisite for dedicated-server placement to pay off.
+  bool enable_migration = false;
+  SimDuration migration_period = Minutes(30);
+  int max_migrations_per_pass = 8;
+
+  // Gandiva-style time-slicing: suspend a running job after `quantum` when
+  // same-VC demand is waiting, context-switch the waiter in.
+  bool time_slicing = false;
+  SimDuration time_slice_quantum = Minutes(30);
+
+  // Failure retries (§2.3 fixed budget; §5 proposes adaptive and predictive
+  // alternatives — see src/failure/retry_policy.h).
+  enum class RetryPolicyKind { kFixed, kAdaptive, kPredictive };
+  int max_retries = 4;
+  RetryPolicyKind retry_policy = RetryPolicyKind::kFixed;
+  int predictive_repeat_threshold = 3;
+  // Back-compat convenience for the adaptive ablation.
+  bool adaptive_retry = false;
+
+  PlacerConfig placer;
+
+  static SchedulerConfig Philly();
+  static SchedulerConfig Fifo();      // strict arrival order, no out-of-order
+  static SchedulerConfig Optimus();   // SRTF on oracle remaining time
+  static SchedulerConfig Tiresias();  // least attained service
+  static SchedulerConfig Gandiva();   // packing + time-slicing
+};
+
+}  // namespace philly
+
+#endif  // SRC_SCHED_SCHEDULER_CONFIG_H_

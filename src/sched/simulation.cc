@@ -1,0 +1,868 @@
+#include "src/sched/simulation.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/workload/model_zoo.h"
+
+namespace philly {
+namespace {
+
+// Segment-boundary threshold: co-tenancy changes smaller than this do not
+// close a telemetry segment (keeps segment counts bounded under churn).
+constexpr double kSegmentUtilEpsilon = 0.005;
+
+// Out-of-order queue scan depth per VC per pass.
+constexpr int kMaxQueueScan = 64;
+
+}  // namespace
+
+ClusterSimulation::ClusterSimulation(SimulationConfig config, std::vector<JobSpec> jobs)
+    : config_(std::move(config)),
+      cluster_(config_.cluster),
+      placer_(config_.scheduler.placer),
+      defrag_placer_([&] {
+        PlacerConfig pc = config_.scheduler.placer;
+        pc.pack_small_jobs = true;
+        return pc;
+      }()),
+      util_model_(config_.util_model),
+      injector_([&] {
+        FailureInjectorConfig fc = config_.failure;
+        fc.seed ^= config_.seed;
+        return fc;
+      }()),
+      rng_(config_.seed ^ 0xC0FFEEull) {
+  SchedulerConfig::RetryPolicyKind kind = config_.scheduler.retry_policy;
+  if (config_.scheduler.adaptive_retry) {
+    kind = SchedulerConfig::RetryPolicyKind::kAdaptive;
+  }
+  switch (kind) {
+    case SchedulerConfig::RetryPolicyKind::kAdaptive:
+      retry_policy_ =
+          std::make_unique<AdaptiveRetryPolicy>(config_.scheduler.max_retries);
+      break;
+    case SchedulerConfig::RetryPolicyKind::kPredictive:
+      retry_policy_ = std::make_unique<PredictiveRetryPolicy>(
+          config_.scheduler.max_retries, config_.scheduler.predictive_repeat_threshold);
+      break;
+    case SchedulerConfig::RetryPolicyKind::kFixed:
+      retry_policy_ =
+          std::make_unique<FixedRetryPolicy>(config_.scheduler.max_retries);
+      break;
+  }
+
+  assert(!config_.vcs.empty());
+  vcs_.reserve(config_.vcs.size());
+  for (const auto& vc : config_.vcs) {
+    vcs_.push_back(VcState{vc, 0, {}});
+  }
+
+  jobs_.reserve(jobs.size());
+  for (auto& spec : jobs) {
+    assert(spec.vc >= 0 && static_cast<size_t>(spec.vc) < vcs_.size());
+    JobState state;
+    state.spec = spec;
+    state.plan = injector_.PlanFor(spec);
+    state.record.spec = spec;
+    state.queue_key = static_cast<double>(spec.submit_time);
+    job_index_.emplace(spec.id, jobs_.size());
+    jobs_.push_back(std::move(state));
+  }
+}
+
+ClusterSimulation::JobState& ClusterSimulation::StateOf(JobId id) {
+  const auto it = job_index_.find(id);
+  assert(it != job_index_.end());
+  return jobs_[it->second];
+}
+
+SimulationResult ClusterSimulation::Run() {
+  for (const auto& job : jobs_) {
+    const JobId id = job.spec.id;
+    last_arrival_time_ = std::max(last_arrival_time_, job.spec.submit_time);
+    sim_.ScheduleAt(job.spec.submit_time, [this, id] { OnArrival(id); });
+  }
+  if (!jobs_.empty()) {
+    sim_.ScheduleAfter(config_.snapshot_period, [this] { TakeSnapshot(); });
+    if (config_.scheduler.enable_migration) {
+      sim_.ScheduleAfter(config_.scheduler.migration_period, [this] { MigrationPass(); });
+    }
+  }
+  sim_.Run();
+
+  result_.jobs.reserve(jobs_.size());
+  for (auto& job : jobs_) {
+    assert(job.phase == Phase::kDone);
+    result_.jobs.push_back(std::move(job.record));
+  }
+  return std::move(result_);
+}
+
+void ClusterSimulation::OnArrival(JobId id) {
+  JobState& job = StateOf(id);
+  if (job.spec.num_gpus > cluster_.NumGpus()) {
+    // Cannot ever be satisfied; reject at submission.
+    job.phase = Phase::kRunning;  // FinishJob expects a non-queued phase
+    FinishJob(job, JobStatus::kUnsuccessful);
+    return;
+  }
+  // §5 pre-run pool: multi-GPU jobs first run briefly on one pool GPU; a
+  // failure whose first RTF fits inside the cap is caught there.
+  const auto& sched = config_.scheduler;
+  if (sched.enable_prerun_pool && !job.prerun_done && job.spec.num_gpus > 1 &&
+      prerun_in_use_ < sched.prerun_pool_gpus) {
+    job.prerun_done = true;
+    ++prerun_in_use_;
+    ++result_.prerun_jobs;
+    const bool caught = job.plan.fails && job.failure_trials_used == 0 &&
+                        job.plan.trial_rtfs[0] <= sched.prerun_cap;
+    const SimDuration duration =
+        caught ? std::max<SimDuration>(1, job.plan.trial_rtfs[0])
+               : std::min<SimDuration>(sched.prerun_cap,
+                                       std::max<SimDuration>(1, job.spec.planned_duration));
+    result_.prerun_gpu_seconds += static_cast<double>(duration);
+    job.phase = Phase::kRunning;  // occupying a pool slot
+    job.attempt_start = sim_.Now();
+    AttemptRecord attempt;
+    attempt.index = static_cast<int>(job.record.attempts.size());
+    attempt.start = sim_.Now();
+    attempt.end = sim_.Now();
+    attempt.prerun = true;
+    job.record.attempts.push_back(std::move(attempt));
+    WaitRecord wait;
+    wait.ready_time = sim_.Now();
+    job.record.waits.push_back(wait);
+    sim_.ScheduleAfter(duration, [this, id, caught] { OnPrerunEnd(id, caught); });
+    return;
+  }
+  job.phase = Phase::kQueued;
+  job.ready_time = sim_.Now();
+  job.wait = WaitRecord{};
+  job.wait.ready_time = sim_.Now();
+  job.eval_failures = 0;
+  job.last_eval_time = -1;
+  job.last_cause = DelayCause::kNone;
+  VcOf(job).queue.push_back(id);
+  RequestSchedulingPass(0);
+}
+
+void ClusterSimulation::OnPrerunEnd(JobId id, bool caught) {
+  JobState& job = StateOf(id);
+  --prerun_in_use_;
+  AttemptRecord& attempt = job.record.attempts.back();
+  attempt.end = sim_.Now();
+  job.record.gpu_seconds += attempt.GpuTime();
+  if (!caught) {
+    Requeue(job);
+    RequestSchedulingPass(0);
+    return;
+  }
+  ++result_.prerun_catches;
+  ++job.failure_trials_used;
+  attempt.failed = true;
+  attempt.true_reason = job.plan.reason;
+  attempt.log_tail = synthesizer_.LinesFor(job.plan.reason, rng_);
+  const FailureReason classified = classifier_.Classify(attempt.log_tail);
+  retry_policy_->ObserveFailure(job.spec.user, classified);
+  const int failure_index = job.failure_trials_used - 1;
+  const bool more_trials = job.failure_trials_used < job.plan.num_failure_trials;
+  const bool retry =
+      retry_policy_->ShouldRetryFor(job.spec.user, classified, failure_index);
+  if (more_trials) {
+    if (retry) {
+      Requeue(job);
+      RequestSchedulingPass(0);
+    } else {
+      FinishJob(job, JobStatus::kUnsuccessful);
+    }
+    return;
+  }
+  switch (job.plan.disposition) {
+    case PostFailureDisposition::kUnsuccessful:
+      FinishJob(job, JobStatus::kUnsuccessful);
+      break;
+    case PostFailureDisposition::kKilledByUser:
+      FinishJob(job, JobStatus::kKilled);
+      break;
+    case PostFailureDisposition::kRecoversClean:
+      if (retry) {
+        Requeue(job);
+        RequestSchedulingPass(0);
+      } else {
+        FinishJob(job, JobStatus::kUnsuccessful);
+      }
+      break;
+  }
+}
+
+void ClusterSimulation::RequestSchedulingPass(SimDuration delay) {
+  const SimTime t = sim_.Now() + delay;
+  if (pass_pending_ && pending_pass_time_ <= t) {
+    return;
+  }
+  if (pass_pending_) {
+    sim_.Cancel(pending_pass_event_);
+  }
+  pass_pending_ = true;
+  pending_pass_time_ = t;
+  pending_pass_event_ = sim_.ScheduleAt(t, [this] {
+    pass_pending_ = false;
+    SchedulingPass();
+  });
+}
+
+int ClusterSimulation::RelaxLevelFor(const JobState& job) const {
+  const auto& sched = config_.scheduler;
+  const SimDuration waited = sim_.Now() - job.ready_time;
+  if (waited < sched.min_wait_before_relax) {
+    return 0;
+  }
+  // Sub-server jobs hold out for a single server twice as long: their strict
+  // placement frees up at whole-server churn rate, and spreading them is
+  // costlier per GPU than for jobs that must cross servers anyway.
+  const SimDuration period = job.spec.num_gpus <= 8
+                                 ? 2 * sched.relax_period
+                                 : sched.relax_period;
+  const auto level = static_cast<int>((waited - sched.min_wait_before_relax) /
+                                      std::max<SimDuration>(1, period));
+  return std::min(level, sched.max_relax_level);
+}
+
+void ClusterSimulation::AttributeWaitTime(JobState& job, DelayCause cause) {
+  const SimTime now = sim_.Now();
+  if (job.last_eval_time >= 0 && job.last_cause != DelayCause::kNone) {
+    const SimDuration dt = now - job.last_eval_time;
+    if (job.last_cause == DelayCause::kFairShare) {
+      job.wait.fair_share_time += dt;
+    } else {
+      job.wait.fragmentation_time += dt;
+    }
+  }
+  job.last_eval_time = now;
+  job.last_cause = cause;
+}
+
+double ClusterSimulation::QueueKeyFor(const JobState& job) const {
+  switch (config_.scheduler.ordering) {
+    case QueueOrdering::kFifoArrival:
+      return job.queue_key;
+    case QueueOrdering::kShortestRemainingFirst:
+      return static_cast<double>(job.CleanRemaining());
+    case QueueOrdering::kLeastAttainedServiceFirst: {
+      // Discretized 2D-LAS: band by attained GPU-time, FIFO within a band.
+      const double band_seconds =
+          std::max(1.0, config_.scheduler.las_band_gpu_hours * 3600.0);
+      const double band = std::floor(job.record.gpu_seconds / band_seconds);
+      return band * 1e10 + job.queue_key;
+    }
+  }
+  return job.queue_key;
+}
+
+void ClusterSimulation::SchedulingPass() {
+  // Fair share: serve VCs in increasing order of quota usage ratio.
+  std::vector<size_t> vc_order(vcs_.size());
+  for (size_t i = 0; i < vcs_.size(); ++i) {
+    vc_order[i] = i;
+  }
+  std::sort(vc_order.begin(), vc_order.end(), [&](size_t a, size_t b) {
+    const double ra = static_cast<double>(vcs_[a].used_gpus) /
+                      std::max(1, vcs_[a].config.quota_gpus);
+    const double rb = static_cast<double>(vcs_[b].used_gpus) /
+                      std::max(1, vcs_[b].config.quota_gpus);
+    if (ra != rb) {
+      return ra < rb;
+    }
+    return a < b;
+  });
+
+  // Per-pass feasibility cache: if a placement search for demand d failed at
+  // relax level L, any demand >= d fails at L too (placements are monotone in
+  // demand at a fixed level), until an allocation-freeing action (preemption)
+  // invalidates the pass state.
+  std::array<int, kMaxRelaxLevel + 1> failed_demand_at_level;
+  failed_demand_at_level.fill(INT32_MAX);
+  const int64_t preemptions_at_pass_start = result_.preemptions;
+
+  bool any_waiting = false;
+  for (size_t vi : vc_order) {
+    VcState& vc = vcs_[vi];
+    if (vc.queue.empty()) {
+      continue;
+    }
+    // Policy ordering for this pass (stable: FIFO ties keep arrival order).
+    std::vector<JobId> order = vc.queue;
+    std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
+      return QueueKeyFor(StateOf(a)) < QueueKeyFor(StateOf(b));
+    });
+
+    bool earlier_waiting = false;
+    int earlier_min_demand = INT32_MAX;
+    std::vector<JobId> blocked;
+    int scanned = 0;
+    for (JobId id : order) {
+      if (++scanned > kMaxQueueScan) {
+        any_waiting = true;
+        break;
+      }
+      JobState& job = StateOf(id);
+      const int level = RelaxLevelFor(job);
+      if (result_.preemptions == preemptions_at_pass_start &&
+          job.spec.num_gpus >= failed_demand_at_level[static_cast<size_t>(level)]) {
+        // A smaller-or-equal request already failed at this level this pass.
+        AttributeWaitTime(job, VcOf(job).used_gpus >= VcOf(job).config.quota_gpus
+                                   ? DelayCause::kFairShare
+                                   : DelayCause::kFragmentation);
+        ++job.eval_failures;
+        any_waiting = true;
+        earlier_waiting = true;
+        earlier_min_demand = std::min(earlier_min_demand, job.spec.num_gpus);
+        blocked.push_back(id);
+        if (!config_.scheduler.allow_out_of_order) {
+          break;
+        }
+        continue;
+      }
+      if (TryStartJob(job, earlier_waiting, earlier_min_demand)) {
+        if (earlier_waiting) {
+          for (JobId bid : blocked) {
+            StateOf(bid).record.overtaken = true;
+          }
+        }
+        continue;
+      }
+      any_waiting = true;
+      earlier_waiting = true;
+      earlier_min_demand = std::min(earlier_min_demand, job.spec.num_gpus);
+      failed_demand_at_level[static_cast<size_t>(level)] = std::min(
+          failed_demand_at_level[static_cast<size_t>(level)], job.spec.num_gpus);
+      blocked.push_back(id);
+      if (!config_.scheduler.allow_out_of_order) {
+        break;  // strict FIFO: the head blocks the queue
+      }
+    }
+  }
+  if (any_waiting) {
+    RequestSchedulingPass(config_.scheduler.sched_backoff);
+  }
+}
+
+bool ClusterSimulation::TryStartJob(JobState& job, bool earlier_job_waiting,
+                                    int earlier_waiting_demand) {
+  const int demand = job.spec.num_gpus;
+  VcState& vc = VcOf(job);
+  // Fair-share delay per the paper's definition: "the virtual cluster uses up
+  // its assigned quota". A VC sitting just under quota that cannot gang-place
+  // a large job is a fragmentation delay, not a fair-share one.
+  const bool over_quota = vc.used_gpus >= vc.config.quota_gpus;
+  const int level = RelaxLevelFor(job);
+
+  auto placement = placer_.FindPlacement(cluster_, demand, level);
+  if (!placement.has_value() && !over_quota && config_.scheduler.enable_preemption &&
+      cluster_.Occupancy() >= config_.scheduler.preemption_threshold &&
+      sim_.Now() - job.ready_time >= config_.scheduler.preemption_min_wait &&
+      sim_.Now() - last_preemption_time_ >= config_.scheduler.preemption_cooldown) {
+    // The job is within its VC's share but the cluster is saturated by
+    // borrowers: reclaim GPUs from over-quota VCs (§2.3).
+    if (TryPreemptFor(job)) {
+      placement = placer_.FindPlacement(cluster_, demand, level);
+    }
+  }
+  if (!placement.has_value() && config_.scheduler.priority_preemption) {
+    if (TryPrioritySuspendFor(job)) {
+      placement = placer_.FindPlacement(cluster_, demand, level);
+    }
+  }
+  if (!placement.has_value()) {
+    AttributeWaitTime(job,
+                      over_quota ? DelayCause::kFairShare : DelayCause::kFragmentation);
+    ++job.eval_failures;
+    return false;
+  }
+
+  AttributeWaitTime(job, DelayCause::kNone);
+
+  ++result_.scheduling_decisions;
+  bool benign_pending = false;
+  bool before_feasible = false;
+  if (earlier_job_waiting) {
+    ++result_.out_of_order_decisions;
+    job.record.started_out_of_order = true;
+    benign_pending = true;
+    // "Idle GPUs are effectively utilized without prolonging the scheduling
+    // time of those waiting jobs" (§3.1.1): the overtaken job is waiting for
+    // *locality*; overtaking it is benign as long as its fully-relaxed
+    // placement opportunity survives this job's allocation (or never existed).
+    before_feasible =
+        placer_.FindPlacement(cluster_, earlier_waiting_demand, kMaxRelaxLevel)
+            .has_value();
+  }
+
+  StartAttempt(job, *placement);
+  if (benign_pending) {
+    const bool after_feasible =
+        placer_.FindPlacement(cluster_, earlier_waiting_demand, kMaxRelaxLevel)
+            .has_value();
+    job.record.out_of_order_benign = !before_feasible || after_feasible;
+    if (job.record.out_of_order_benign) {
+      ++result_.out_of_order_benign;
+    }
+  }
+  return true;
+}
+
+bool ClusterSimulation::TryPreemptFor(const JobState& job) {
+  // Victims: most recently started attempts of jobs whose VC is over quota.
+  // One preemption action per scheduling evaluation.
+  JobId victim = kNoJob;
+  SimTime victim_start = -1;
+  for (auto& candidate : jobs_) {
+    if (candidate.phase != Phase::kRunning || candidate.spec.vc == job.spec.vc) {
+      continue;
+    }
+    if (!candidate.record.attempts.empty() &&
+        candidate.record.attempts.back().prerun) {
+      continue;  // occupying a pre-run pool slot, not cluster GPUs
+    }
+    const VcState& cvc = vcs_[static_cast<size_t>(candidate.spec.vc)];
+    if (cvc.used_gpus <= cvc.config.quota_gpus) {
+      continue;  // only over-quota VCs lose GPUs to fair share
+    }
+    if (candidate.attempt_start > victim_start) {
+      victim_start = candidate.attempt_start;
+      victim = candidate.spec.id;
+    }
+  }
+  if (victim == kNoJob) {
+    return false;
+  }
+  PreemptJob(StateOf(victim));
+  return true;
+}
+
+bool ClusterSimulation::TryPrioritySuspendFor(const JobState& job) {
+  const double waiter_key = QueueKeyFor(job);
+  JobState* victim = nullptr;
+  double worst_key = waiter_key;
+  for (auto& candidate : jobs_) {
+    if (candidate.phase != Phase::kRunning ||
+        candidate.kind != AttemptKind::kClean || candidate.kill_at_end) {
+      continue;
+    }
+    const auto& attempt = candidate.record.attempts.back();
+    if (attempt.prerun ||
+        sim_.Now() - candidate.attempt_start <
+            config_.scheduler.priority_preemption_min_run) {
+      continue;
+    }
+    const double key = QueueKeyFor(candidate);
+    if (key > worst_key) {
+      worst_key = key;
+      victim = &candidate;
+    }
+  }
+  if (victim == nullptr) {
+    return false;
+  }
+  SuspendAttempt(*victim);
+  Requeue(*victim);
+  ++result_.priority_preemptions;
+  return true;
+}
+
+void ClusterSimulation::StartAttempt(JobState& job, const Placement& placement) {
+  const SimTime now = sim_.Now();
+  // Close the waiting period.
+  job.wait.wait = now - job.ready_time;
+  job.wait.sched_attempts = job.eval_failures;
+  job.record.waits.push_back(job.wait);
+
+  // Remove from the VC queue.
+  VcState& vc = VcOf(job);
+  vc.queue.erase(std::remove(vc.queue.begin(), vc.queue.end(), job.spec.id),
+                 vc.queue.end());
+  vc.used_gpus += job.spec.num_gpus;
+
+  const bool ok = cluster_.Allocate(job.spec.id, placement);
+  assert(ok);
+  (void)ok;
+  job.phase = Phase::kRunning;
+  job.attempt_start = now;
+
+  // Decide what this attempt is.
+  SimDuration duration = 0;
+  job.kill_at_end = false;
+  if (job.plan.fails && job.failure_trials_used < job.plan.num_failure_trials) {
+    job.kind = AttemptKind::kFailing;
+    duration = std::max<SimDuration>(
+        1, job.plan.trial_rtfs[static_cast<size_t>(job.failure_trials_used)]);
+  } else {
+    job.kind = AttemptKind::kClean;
+    SimDuration remaining = std::max<SimDuration>(1, job.CleanRemaining());
+    if (job.spec.intrinsic == IntrinsicOutcome::kKilledByUser) {
+      const auto kill_total = static_cast<SimDuration>(
+          job.spec.kill_fraction * static_cast<double>(job.spec.planned_duration));
+      const SimDuration kill_remaining = kill_total - job.clean_executed;
+      if (kill_remaining <= remaining) {
+        remaining = std::max<SimDuration>(1, kill_remaining);
+        job.kill_at_end = true;
+      }
+    }
+    duration = remaining;
+  }
+
+  AttemptRecord attempt;
+  attempt.index = static_cast<int>(job.record.attempts.size());
+  attempt.start = now;
+  attempt.end = now;  // finalized in OnAttemptEnd/PreemptJob
+  attempt.placement = placement;
+  job.record.attempts.push_back(std::move(attempt));
+
+  const JobId id = job.spec.id;
+  job.end_event = sim_.ScheduleAfter(duration, [this, id] { OnAttemptEnd(id); });
+  if (config_.scheduler.time_slicing &&
+      duration > config_.scheduler.time_slice_quantum) {
+    job.quantum_event = sim_.ScheduleAfter(config_.scheduler.time_slice_quantum,
+                                           [this, id] { OnQuantumExpired(id); });
+  } else {
+    job.quantum_event = EventId{};
+  }
+
+  OpenSegment(job);
+  RefreshCotenantSegments(placement, id);
+}
+
+double ClusterSimulation::ComputeExpectedUtil(const JobState& job,
+                                              const Placement& placement) const {
+  // Table 3 reports a consistent by-status ordering: unsuccessful jobs show
+  // the *highest* utilization (crash-bound jobs — OOMs, invalid accesses —
+  // hammer their GPUs until they die), while killed jobs show the lowest
+  // (users terminate jobs whose throughput is lagging). Model both as
+  // modest multipliers on the job's expected utilization.
+  double status_factor = 1.0;
+  if (job.kind == AttemptKind::kFailing) {
+    status_factor = 1.12;
+  } else if (job.kill_at_end) {
+    status_factor = 0.85;
+  }
+  auto activity_of = [this](JobId id) {
+    const auto it = job_index_.find(id);
+    assert(it != job_index_.end());
+    const JobState& other = jobs_[it->second];
+    JobActivity activity;
+    activity.base_utilization = other.spec.base_utilization;
+    activity.comm_intensity = ProfileOf(other.spec.model).comm_intensity;
+    activity.num_gpus = other.spec.num_gpus;
+    activity.num_servers =
+        other.record.attempts.empty()
+            ? 1
+            : other.record.attempts.back().placement.NumServers();
+    return activity;
+  };
+  return std::min(
+      1.0, status_factor * util_model_.ExpectedUtilization(job.spec, placement,
+                                                           cluster_, activity_of));
+}
+
+void ClusterSimulation::OpenSegment(JobState& job) {
+  job.segment_start = sim_.Now();
+  job.segment_util = ComputeExpectedUtil(job, job.record.attempts.back().placement);
+}
+
+void ClusterSimulation::CloseSegment(JobState& job) {
+  const SimDuration duration = sim_.Now() - job.segment_start;
+  if (duration > 0) {
+    job.record.util_segments.push_back(
+        {job.segment_util, duration, job.record.attempts.back().placement.NumServers()});
+  }
+  job.segment_start = sim_.Now();
+}
+
+void ClusterSimulation::RefreshCotenantSegments(const Placement& placement,
+                                                JobId except) {
+  std::unordered_set<JobId> touched;
+  for (const auto& shard : placement.shards) {
+    for (const auto& tenant : cluster_.TenantsOnServer(shard.server)) {
+      if (tenant.job != except) {
+        touched.insert(tenant.job);
+      }
+    }
+  }
+  for (JobId id : touched) {
+    JobState& job = StateOf(id);
+    if (job.phase != Phase::kRunning) {
+      continue;
+    }
+    const double updated =
+        ComputeExpectedUtil(job, job.record.attempts.back().placement);
+    if (std::abs(updated - job.segment_util) > kSegmentUtilEpsilon) {
+      CloseSegment(job);
+      job.segment_util = updated;
+    }
+  }
+}
+
+void ClusterSimulation::OnAttemptEnd(JobId id) {
+  JobState& job = StateOf(id);
+  assert(job.phase == Phase::kRunning);
+  const SimTime now = sim_.Now();
+  if (job.quantum_event.value != 0) {
+    sim_.Cancel(job.quantum_event);
+    job.quantum_event = EventId{};
+  }
+
+  CloseSegment(job);
+  AttemptRecord& attempt = job.record.attempts.back();
+  attempt.end = now;
+  job.record.gpu_seconds += attempt.GpuTime();
+
+  cluster_.Release(id);
+  VcOf(job).used_gpus -= job.spec.num_gpus;
+  RefreshCotenantSegments(attempt.placement, id);
+
+  if (job.kind == AttemptKind::kClean) {
+    job.clean_executed += attempt.Duration();
+    const SimDuration epoch = std::max<SimDuration>(1, job.spec.EpochDuration());
+    job.record.executed_epochs = static_cast<int>(
+        std::min<int64_t>(job.spec.planned_epochs, job.clean_executed / epoch));
+    if (job.kill_at_end) {
+      FinishJob(job, JobStatus::kKilled);
+    } else if (job.CleanRemaining() <= 0) {
+      FinishJob(job, JobStatus::kPassed);
+    } else {
+      Requeue(job);  // suspended mid-run (time slicing)
+    }
+  } else {
+    ++job.failure_trials_used;
+    attempt.failed = true;
+    attempt.true_reason = job.plan.reason;
+    attempt.log_tail = synthesizer_.LinesFor(job.plan.reason, rng_);
+    const FailureReason classified = classifier_.Classify(attempt.log_tail);
+    const int failure_index = job.failure_trials_used - 1;
+    retry_policy_->ObserveFailure(job.spec.user, classified);
+
+    if (job.failure_trials_used < job.plan.num_failure_trials) {
+      if (retry_policy_->ShouldRetryFor(job.spec.user, classified, failure_index)) {
+        Requeue(job);
+      } else {
+        FinishJob(job, JobStatus::kUnsuccessful);
+      }
+    } else {
+      switch (job.plan.disposition) {
+        case PostFailureDisposition::kUnsuccessful:
+          FinishJob(job, JobStatus::kUnsuccessful);
+          break;
+        case PostFailureDisposition::kKilledByUser:
+          FinishJob(job, JobStatus::kKilled);
+          break;
+        case PostFailureDisposition::kRecoversClean:
+          if (retry_policy_->ShouldRetryFor(job.spec.user, classified,
+                                            failure_index)) {
+            Requeue(job);
+          } else {
+            FinishJob(job, JobStatus::kUnsuccessful);
+          }
+          break;
+      }
+    }
+  }
+  RequestSchedulingPass(0);
+}
+
+void ClusterSimulation::OnQuantumExpired(JobId id) {
+  JobState& job = StateOf(id);
+  if (job.phase != Phase::kRunning) {
+    return;
+  }
+  job.quantum_event = EventId{};
+  // Only clean attempts are context-switched; failing attempts run to their
+  // failure (their RTF schedule must not be disturbed).
+  if (job.kind != AttemptKind::kClean) {
+    return;
+  }
+  // Switch out only if a same-VC job is waiting and could use the space.
+  const VcState& vc = VcOf(job);
+  bool waiter = false;
+  for (JobId qid : vc.queue) {
+    if (StateOf(qid).spec.num_gpus <=
+        job.spec.num_gpus + cluster_.NumFreeGpus()) {
+      waiter = true;
+      break;
+    }
+  }
+  if (!waiter) {
+    const JobId jid = job.spec.id;
+    job.quantum_event = sim_.ScheduleAfter(config_.scheduler.time_slice_quantum,
+                                           [this, jid] { OnQuantumExpired(jid); });
+    return;
+  }
+
+  // Suspend: Gandiva-style context switch preserves full progress.
+  SuspendAttempt(job);
+  job.queue_key = static_cast<double>(sim_.Now());  // go behind the round-robin
+  Requeue(job);
+  RequestSchedulingPass(0);
+}
+
+void ClusterSimulation::SuspendAttempt(JobState& job) {
+  assert(job.phase == Phase::kRunning);
+  assert(job.kind == AttemptKind::kClean);
+  sim_.Cancel(job.end_event);
+  if (job.quantum_event.value != 0) {
+    sim_.Cancel(job.quantum_event);
+    job.quantum_event = EventId{};
+  }
+  CloseSegment(job);
+  AttemptRecord& attempt = job.record.attempts.back();
+  attempt.end = sim_.Now();
+  job.record.gpu_seconds += attempt.GpuTime();
+  job.clean_executed += attempt.Duration();
+  cluster_.Release(job.spec.id);
+  VcOf(job).used_gpus -= job.spec.num_gpus;
+  RefreshCotenantSegments(attempt.placement, job.spec.id);
+}
+
+void ClusterSimulation::MigrationPass() {
+  // Defragmentation (§5): evacuate the most lightly used servers whose
+  // tenants are all small single-server clean jobs, so whole servers open up
+  // for gangs that need locality. The evacuated jobs requeue with progress
+  // intact and re-pack best-fit elsewhere.
+  struct Candidate {
+    ServerId server = -1;
+    int used = 0;
+  };
+  std::vector<Candidate> candidates;
+  for (ServerId s = 0; s < cluster_.NumServers(); ++s) {
+    const int used = cluster_.ServerUsed(s);
+    if (used == 0 || used > cluster_.ServerCapacity(s) / 2) {
+      continue;
+    }
+    bool evacuable = true;
+    for (const auto& tenant : cluster_.TenantsOnServer(s)) {
+      const JobState& job = StateOf(tenant.job);
+      if (job.kind != AttemptKind::kClean ||
+          job.record.attempts.back().placement.NumServers() > 1) {
+        evacuable = false;
+        break;
+      }
+    }
+    if (evacuable) {
+      candidates.push_back({s, used});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.used != b.used) {
+                return a.used < b.used;
+              }
+              return a.server < b.server;
+            });
+
+  int migrated = 0;
+  for (const Candidate& candidate : candidates) {
+    if (migrated >= config_.scheduler.max_migrations_per_pass) {
+      break;
+    }
+    // Evacuate the whole server first so packing re-placement cannot choose
+    // it (an empty server is the packer's last resort), then re-place each
+    // evacuee best-fit; anything unplaceable right now just stays queued.
+    const auto tenants = cluster_.TenantsOnServer(candidate.server);
+    std::vector<JobId> evacuated;
+    for (const auto& tenant : tenants) {
+      JobState& job = StateOf(tenant.job);
+      if (job.phase != Phase::kRunning) {
+        continue;
+      }
+      SuspendAttempt(job);
+      Requeue(job);
+      evacuated.push_back(tenant.job);
+      ++migrated;
+      ++result_.migrations;
+    }
+    for (JobId id : evacuated) {
+      JobState& job = StateOf(id);
+      const auto placement =
+          defrag_placer_.FindPlacement(cluster_, job.spec.num_gpus, 0);
+      if (placement.has_value() &&
+          !(placement->NumServers() == 1 &&
+            placement->shards[0].server == candidate.server)) {
+        StartAttempt(job, *placement);
+      }
+    }
+  }
+  if (migrated > 0) {
+    RequestSchedulingPass(0);
+  }
+  if (jobs_done_ < static_cast<int>(jobs_.size())) {
+    sim_.ScheduleAfter(config_.scheduler.migration_period, [this] { MigrationPass(); });
+  }
+}
+
+void ClusterSimulation::PreemptJob(JobState& victim) {
+  assert(victim.phase == Phase::kRunning);
+  const SimTime now = sim_.Now();
+  sim_.Cancel(victim.end_event);
+  if (victim.quantum_event.value != 0) {
+    sim_.Cancel(victim.quantum_event);
+    victim.quantum_event = EventId{};
+  }
+  CloseSegment(victim);
+  AttemptRecord& attempt = victim.record.attempts.back();
+  attempt.end = now;
+  attempt.failed = true;
+  attempt.preempted = true;
+  attempt.true_reason = FailureReason::kJobPreempted;
+  attempt.log_tail = synthesizer_.LinesFor(FailureReason::kJobPreempted, rng_);
+  victim.record.gpu_seconds += attempt.GpuTime();
+
+  if (victim.kind == AttemptKind::kClean) {
+    // Model-checkpoint preemption: progress persists at epoch granularity.
+    const SimDuration epoch = std::max<SimDuration>(1, victim.spec.EpochDuration());
+    const SimDuration executed = attempt.Duration();
+    victim.clean_executed += (executed / epoch) * epoch;
+    victim.record.executed_epochs = static_cast<int>(
+        std::min<int64_t>(victim.spec.planned_epochs, victim.clean_executed / epoch));
+  }
+  // A preempted failing attempt is restarted later: the trial is not consumed.
+
+  cluster_.Release(victim.spec.id);
+  VcOf(victim).used_gpus -= victim.spec.num_gpus;
+  RefreshCotenantSegments(attempt.placement, victim.spec.id);
+  ++result_.preemptions;
+  last_preemption_time_ = now;
+  Requeue(victim);
+}
+
+void ClusterSimulation::Requeue(JobState& job) {
+  job.phase = Phase::kQueued;
+  job.ready_time = sim_.Now();
+  job.wait = WaitRecord{};
+  job.wait.ready_time = sim_.Now();
+  job.eval_failures = 0;
+  job.last_eval_time = -1;
+  job.last_cause = DelayCause::kNone;
+  VcOf(job).queue.push_back(job.spec.id);
+}
+
+void ClusterSimulation::FinishJob(JobState& job, JobStatus status) {
+  job.phase = Phase::kDone;
+  job.record.status = status;
+  job.record.finish_time = sim_.Now();
+  ++jobs_done_;
+}
+
+void ClusterSimulation::TakeSnapshot() {
+  SimulationResult::OccupancySnapshot snap;
+  snap.time = sim_.Now();
+  snap.occupancy = cluster_.Occupancy();
+  snap.empty_server_fraction = cluster_.EmptyServerFraction();
+  snap.racks_with_empty_servers = cluster_.RacksWithEmptyServers();
+  result_.occupancy_snapshots.push_back(snap);
+  if (jobs_done_ < static_cast<int>(jobs_.size())) {
+    sim_.ScheduleAfter(config_.snapshot_period, [this] { TakeSnapshot(); });
+  }
+}
+
+}  // namespace philly

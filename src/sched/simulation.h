@@ -1,0 +1,167 @@
+// The cluster simulation runtime: executes a workload trace against a
+// scheduler policy on a modeled cluster, producing the three joinable log
+// streams the analysis pipeline consumes (DESIGN.md §1).
+//
+// Responsibilities:
+//   * job lifecycle (Figure 1): queueing -> gang placement -> execution ->
+//     pass/kill/fail -> retries -> final status
+//   * fair share across virtual clusters with work-conserving borrowing and
+//     threshold-triggered preemption (§2.3)
+//   * locality acquisition with backoff and progressive relaxation (§2.3)
+//   * queueing-delay cause attribution: fair-share vs fragmentation (§3.1.1)
+//   * out-of-order scheduling bookkeeping (§3.1.1)
+//   * per-attempt failure injection, log synthesis, classification-driven
+//     retry (§4.2)
+//   * utilization segments reflecting distribution and co-tenant interference
+//     (§3.2), sampled into Ganglia-style telemetry downstream
+//   * optional Gandiva-style time-slicing and the §5 ablation knobs
+
+#ifndef SRC_SCHED_SIMULATION_H_
+#define SRC_SCHED_SIMULATION_H_
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/failure/failure_injector.h"
+#include "src/failure/failure_logs.h"
+#include "src/failure/retry_policy.h"
+#include "src/sched/placement.h"
+#include "src/sched/records.h"
+#include "src/sched/scheduler_config.h"
+#include "src/sim/simulator.h"
+#include "src/telemetry/util_model.h"
+#include "src/workload/generator.h"
+
+namespace philly {
+
+struct SimulationConfig {
+  ClusterConfig cluster = ClusterConfig::PaperScale();
+  SchedulerConfig scheduler = SchedulerConfig::Philly();
+  FailureInjectorConfig failure;
+  UtilModelConfig util_model;
+  // Virtual-cluster definitions (quota per VC); normally taken from the
+  // workload config so indices line up.
+  std::vector<VcConfig> vcs;
+  uint64_t seed = 42;
+  SimDuration snapshot_period = Hours(6);
+};
+
+class ClusterSimulation {
+ public:
+  ClusterSimulation(SimulationConfig config, std::vector<JobSpec> jobs);
+
+  // Runs the whole trace to completion and returns the logs. Call once.
+  SimulationResult Run();
+
+ private:
+  enum class Phase { kPending, kQueued, kRunning, kDone };
+  enum class AttemptKind { kFailing, kClean };
+
+  struct JobState {
+    JobSpec spec;
+    FailurePlan plan;
+    JobRecord record;
+
+    Phase phase = Phase::kPending;
+    // Queueing state.
+    SimTime ready_time = 0;
+    WaitRecord wait;
+    int eval_failures = 0;        // failed evaluations in the current wait
+    SimTime last_eval_time = -1;  // for cause-time attribution
+    DelayCause last_cause = DelayCause::kNone;
+    double queue_key = 0.0;       // ordering key (policy-dependent)
+
+    // Execution state.
+    bool prerun_done = false;
+    int failure_trials_used = 0;
+    SimDuration clean_executed = 0;
+    AttemptKind kind = AttemptKind::kClean;
+    bool kill_at_end = false;
+    SimTime attempt_start = 0;
+    SimTime segment_start = 0;
+    double segment_util = 0.0;
+    EventId end_event;
+    EventId quantum_event;
+
+    SimDuration CleanRemaining() const {
+      return std::max<SimDuration>(0, spec.planned_duration - clean_executed);
+    }
+  };
+
+  struct VcState {
+    VcConfig config;
+    int used_gpus = 0;
+    std::vector<JobId> queue;  // maintained in arrival order; ordering applied per pass
+  };
+
+  // --- event handlers ---
+  void OnArrival(JobId id);
+  void OnAttemptEnd(JobId id);
+  void OnQuantumExpired(JobId id);
+  void OnPrerunEnd(JobId id, bool caught);
+  void MigrationPass();
+  void TakeSnapshot();
+
+  // --- scheduling ---
+  void RequestSchedulingPass(SimDuration delay);
+  void SchedulingPass();
+  // Evaluates one queued job; returns true if it started.
+  bool TryStartJob(JobState& job, bool earlier_job_waiting, int earlier_waiting_demand);
+  void StartAttempt(JobState& job, const Placement& placement);
+  void FinishJob(JobState& job, JobStatus status);
+  void Requeue(JobState& job);
+  int RelaxLevelFor(const JobState& job) const;
+  void AttributeWaitTime(JobState& job, DelayCause cause);
+  bool TryPreemptFor(const JobState& job);
+  void PreemptJob(JobState& victim);
+  // Optimus/Tiresias: checkpoint-suspend the worst-priority running job so a
+  // better-priority waiter can take its place. Returns true if one was
+  // suspended.
+  bool TryPrioritySuspendFor(const JobState& job);
+  // Context-switch a running clean attempt out, preserving full progress
+  // (used by time-slicing and migration).
+  void SuspendAttempt(JobState& job);
+  double QueueKeyFor(const JobState& job) const;
+
+  // --- telemetry segments ---
+  double ComputeExpectedUtil(const JobState& job, const Placement& placement) const;
+  void OpenSegment(JobState& job);
+  void CloseSegment(JobState& job);
+  void RefreshCotenantSegments(const Placement& placement, JobId except);
+
+  JobState& StateOf(JobId id);
+  VcState& VcOf(const JobState& job) { return vcs_[static_cast<size_t>(job.spec.vc)]; }
+
+  SimulationConfig config_;
+  Simulator sim_;
+  Cluster cluster_;
+  LocalityPlacer placer_;
+  // Migration re-placement always packs (consolidation is the point of
+  // defragmentation), regardless of the main placer's policy.
+  LocalityPlacer defrag_placer_;
+  UtilizationModel util_model_;
+  FailureInjector injector_;
+  FailureLogSynthesizer synthesizer_;
+  FailureClassifier classifier_;
+  std::unique_ptr<RetryPolicy> retry_policy_;
+  Rng rng_;
+
+  std::vector<JobState> jobs_;                    // dense storage
+  std::unordered_map<JobId, size_t> job_index_;   // id -> index
+  std::vector<VcState> vcs_;
+  SimulationResult result_;
+  bool pass_pending_ = false;
+  EventId pending_pass_event_;
+  SimTime pending_pass_time_ = 0;
+  SimTime last_arrival_time_ = 0;
+  SimTime last_preemption_time_ = -(1 << 30);
+  int prerun_in_use_ = 0;
+  int jobs_done_ = 0;
+};
+
+}  // namespace philly
+
+#endif  // SRC_SCHED_SIMULATION_H_

@@ -1,0 +1,71 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace philly {
+
+EventId Simulator::ScheduleAt(SimTime t, Callback cb) {
+  assert(t >= now_);
+  assert(cb);
+  const uint64_t seq = next_seq_++;
+  heap_.push(Entry{t, seq, std::move(cb)});
+  pending_ids_.insert(seq);
+  return EventId{seq};
+}
+
+EventId Simulator::ScheduleAfter(SimDuration d, Callback cb) {
+  assert(d >= 0);
+  return ScheduleAt(now_ + d, std::move(cb));
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (pending_ids_.erase(id.value) == 0) {
+    return false;  // never scheduled, already fired, or already cancelled
+  }
+  cancelled_.insert(id.value);
+  return true;
+}
+
+bool Simulator::SkipCancelled() {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    const auto it = cancelled_.find(top.seq);
+    if (it == cancelled_.end()) {
+      return true;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+  return false;
+}
+
+bool Simulator::Step() {
+  if (!SkipCancelled()) {
+    return false;
+  }
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_ids_.erase(top.seq);
+  assert(top.time >= now_);
+  now_ = top.time;
+  ++processed_;
+  top.callback();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (SkipCancelled() && heap_.top().time <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace philly

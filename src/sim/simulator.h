@@ -1,0 +1,91 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a virtual clock and a time-ordered event queue. Ties are
+// broken by scheduling order, so runs are fully deterministic. Events may be
+// cancelled (lazily removed), which the scheduler uses for timeout/backoff
+// machinery. There is intentionally no global simulator instance.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace philly {
+
+// Opaque handle for a scheduled event; valid until the event fires or is
+// cancelled.
+struct EventId {
+  uint64_t value = 0;
+  bool operator==(const EventId&) const = default;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `cb` to run at absolute time `t`. Requires t >= Now().
+  EventId ScheduleAt(SimTime t, Callback cb);
+
+  // Schedules `cb` to run `d` from now. Requires d >= 0.
+  EventId ScheduleAfter(SimDuration d, Callback cb);
+
+  // Cancels a pending event. Returns false if it already fired or was
+  // cancelled.
+  bool Cancel(EventId id);
+
+  // Processes events in time order until the queue is empty.
+  void Run();
+
+  // Processes events with time <= `deadline`, then advances the clock to
+  // `deadline` (if it is later than the last event processed).
+  void RunUntil(SimTime deadline);
+
+  // Processes exactly one event if any is pending; returns false otherwise.
+  bool Step();
+
+  size_t PendingCount() const { return pending_ids_.size(); }
+  uint64_t ProcessedCount() const { return processed_; }
+
+ private:
+  struct Entry {
+    SimTime time = 0;
+    uint64_t seq = 0;  // tie-break: FIFO among same-time events
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops cancelled entries off the top; returns false when the queue is empty.
+  bool SkipCancelled();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Ids scheduled but not yet fired or cancelled.
+  std::unordered_set<uint64_t> pending_ids_;
+  // Cancelled ids still physically present in the heap (lazy deletion).
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+}  // namespace philly
+
+#endif  // SRC_SIM_SIMULATOR_H_

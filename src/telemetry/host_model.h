@@ -1,0 +1,27 @@
+// Host-resource (CPU / memory) usage model, driving Figure 7.
+//
+// Philly allocates CPU cores and host memory proportionally to requested
+// GPUs (§2.3). The paper observes that servers generally underutilize CPU
+// cycles but highly utilize memory (input caching, model aggregation,
+// validation). Each job gets deterministic per-job CPU and memory activity
+// levels relative to its proportional allocation, with family-dependent
+// shifts (input-pipeline-heavy models use more CPU).
+
+#ifndef SRC_TELEMETRY_HOST_MODEL_H_
+#define SRC_TELEMETRY_HOST_MODEL_H_
+
+#include "src/workload/job.h"
+
+namespace philly {
+
+struct HostActivity {
+  double cpu_fraction = 0.3;     // of the job's proportional CPU allocation
+  double memory_fraction = 0.8;  // of the job's proportional memory allocation
+};
+
+// Deterministic given (job id, model family); `seed` decorrelates runs.
+HostActivity HostActivityFor(const JobSpec& job, uint64_t seed);
+
+}  // namespace philly
+
+#endif  // SRC_TELEMETRY_HOST_MODEL_H_

@@ -1,0 +1,50 @@
+// Ganglia-style per-minute telemetry sampling (§2.4).
+//
+// Ganglia reports hardware counters once per minute per GPU. At paper scale
+// that is ~1e8 GPU-minutes over the trace window, so raw samples are never
+// materialized: a job's execution is split into segments of constant expected
+// utilization (segments change when co-tenants arrive/leave), and each
+// segment contributes a bounded number of representative per-minute samples,
+// weight-scaled so aggregate statistics are unchanged. Within-segment
+// variation follows an AR(1) process — successive minutes of a training job
+// are strongly correlated (iterations look alike), with occasional dips from
+// checkpointing and input stalls.
+
+#ifndef SRC_TELEMETRY_SAMPLER_H_
+#define SRC_TELEMETRY_SAMPLER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/sim_time.h"
+
+namespace philly {
+
+struct SamplerConfig {
+  double ar1_rho = 0.80;
+  double jitter_sigma = 0.08;  // absolute utilization points
+  // Cap on representative samples per segment; weights preserve total mass.
+  int max_samples_per_segment = 64;
+};
+
+class GangliaSampler {
+ public:
+  explicit GangliaSampler(SamplerConfig config = {});
+
+  // Emits per-minute utilization observations for a segment with expected
+  // utilization `expected_util` lasting `duration`. `sink(value, weight)` is
+  // called with weight = number of GPU-minutes the observation represents
+  // (per GPU; multiply by the job's GPU count at the call site if needed).
+  // Deterministic given `seed`.
+  void SampleSegment(double expected_util, SimDuration duration, uint64_t seed,
+                     const std::function<void(double value, double weight)>& sink) const;
+
+  const SamplerConfig& config() const { return config_; }
+
+ private:
+  SamplerConfig config_;
+};
+
+}  // namespace philly
+
+#endif  // SRC_TELEMETRY_SAMPLER_H_

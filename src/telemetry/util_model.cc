@@ -1,0 +1,96 @@
+#include "src/telemetry/util_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/workload/model_zoo.h"
+
+namespace philly {
+
+UtilizationModel::UtilizationModel(UtilModelConfig config) : config_(config) {}
+
+double UtilizationModel::DistributionPenalty(int num_servers, double comm_intensity,
+                                             int num_gpus) const {
+  assert(num_servers >= 1);
+  if (num_servers <= 1) {
+    return 1.0;
+  }
+  const double spread = 1.0 - 1.0 / static_cast<double>(num_servers);
+  const double gang_growth =
+      num_gpus > 2 ? 1.0 + config_.gang_size_comm_growth *
+                               std::log2(static_cast<double>(num_gpus) / 2.0)
+                   : 1.0;
+  return std::max(
+      0.05, 1.0 - config_.dist_sync_coeff * comm_intensity * gang_growth * spread);
+}
+
+double UtilizationModel::ShardUtilization(double base_after_dist,
+                                          const ShardContext& shard) const {
+  const double pcie = std::min(shard.pcie_load, config_.pcie_load_cap);
+  const double net = std::min(shard.net_load, config_.net_load_cap);
+  const double factor =
+      (1.0 - config_.pcie_coeff * pcie) * (1.0 - config_.net_coeff * net);
+  return std::clamp(base_after_dist * factor, 0.0, 1.0);
+}
+
+double UtilizationModel::ActivityOf(const JobActivity& activity) const {
+  return activity.base_utilization * DistributionPenalty(activity.num_servers,
+                                                         activity.comm_intensity,
+                                                         activity.num_gpus);
+}
+
+double UtilizationModel::NeighborLoadShare(const JobActivity& cotenant,
+                                           int cotenant_shard_gpus,
+                                           int server_capacity) const {
+  assert(server_capacity > 0);
+  const double share =
+      static_cast<double>(cotenant_shard_gpus) / static_cast<double>(server_capacity);
+  const double discount =
+      cotenant.num_gpus <= 1 ? config_.single_gpu_comm_discount : 1.0;
+  return share * ActivityOf(cotenant) * cotenant.comm_intensity * discount;
+}
+
+double UtilizationModel::ExpectedUtilization(
+    const JobSpec& job, const Placement& placement, const Cluster& cluster,
+    const std::function<JobActivity(JobId)>& activity_of) const {
+  if (placement.Empty()) {
+    return 0.0;
+  }
+  const ModelProfile& profile = ProfileOf(job.model);
+  const double base_after_dist =
+      job.base_utilization * DistributionPenalty(placement.NumServers(),
+                                                 profile.comm_intensity, job.num_gpus);
+
+  double weighted = 0.0;
+  int total_gpus = 0;
+  for (const auto& shard : placement.shards) {
+    ShardContext ctx;
+    ctx.shard_gpus = shard.gpus;
+    ctx.server_capacity = cluster.ServerCapacity(shard.server);
+    for (const auto& tenant : cluster.TenantsOnServer(shard.server)) {
+      if (tenant.job == job.id) {
+        continue;
+      }
+      const JobActivity cotenant = activity_of(tenant.job);
+      const double load = NeighborLoadShare(cotenant, tenant.gpus, ctx.server_capacity);
+      ctx.pcie_load += load;
+      if (cotenant.num_servers > 1) {
+        ctx.net_load += load;
+      }
+    }
+    weighted += ShardUtilization(base_after_dist, ctx) * shard.gpus;
+    total_gpus += shard.gpus;
+  }
+  return total_gpus > 0 ? weighted / static_cast<double>(total_gpus) : 0.0;
+}
+
+double UtilizationModel::ImagesPerSecond(const JobSpec& job, double utilization) const {
+  const ModelProfile& profile = ProfileOf(job.model);
+  if (profile.images_per_sec_at_full_util <= 0.0) {
+    return 0.0;
+  }
+  return profile.images_per_sec_at_full_util * utilization * job.num_gpus;
+}
+
+}  // namespace philly

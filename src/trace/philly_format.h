@@ -1,0 +1,119 @@
+// Exporter for the *published* philly-traces artifact layout [38]
+// (https://github.com/msr-fiddle/philly-traces), so tooling written against
+// the public release can run on simulated traces.
+//
+// Files produced (best-effort match to the public schema):
+//   cluster_job_log          JSON array; per job: status ("Pass"/"Killed"/
+//                            "Failed"), vc hash, jobid ("application_<ts>_<n>"),
+//                            submitted_time, user hash, attempts[] each with
+//                            start_time/end_time and detail[] of {ip, gpus[]}
+//   cluster_machine_list     CSV: machineId,number of GPUs
+//   cluster_gpu_util         CSV: time,machineId,<per-GPU utilization>, one
+//                            row per machine per sample period, averaged from
+//                            the jobs' utilization segments
+//   cluster_cpu_util         CSV: time,machineId,cpu_util
+//   cluster_mem_util         CSV: time,machineId,mem_total,mem_free
+//
+// Known approximations (documented in DESIGN.md): timestamps are rendered
+// from simulated seconds against a fixed epoch (the trace window's nominal
+// start); vc/user identifiers are deterministic hashes, not Microsoft's; GPU
+// utilization is reported per machine (mean over its in-use GPUs) rather than
+// per physical GPU index.
+
+#ifndef SRC_TRACE_PHILLY_FORMAT_H_
+#define SRC_TRACE_PHILLY_FORMAT_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/sched/records.h"
+
+namespace philly {
+
+struct PhillyTracesOptions {
+  // Sampling period for the utilization CSVs. The public trace is per-minute;
+  // 10 minutes keeps full-scale exports a few hundred MB smaller while
+  // preserving the curves.
+  SimDuration util_sample_period = Minutes(10);
+  // Nominal wall-clock of simulated t=0, seconds since the Unix epoch
+  // (2017-10-01 00:00:00 UTC, matching the paper's collection window).
+  int64_t epoch_offset = 1506816000;
+};
+
+class PhillyTracesExporter {
+ public:
+  PhillyTracesExporter(const ClusterConfig& cluster, PhillyTracesOptions options = {});
+
+  void WriteJobLog(const std::vector<JobRecord>& jobs, std::ostream& out) const;
+  void WriteMachineList(std::ostream& out) const;
+  // Reconstructs per-machine utilization over time from the jobs' placement
+  // and segment records, then emits one row per (sample period, machine).
+  void WriteGpuUtil(const std::vector<JobRecord>& jobs, std::ostream& out) const;
+  void WriteCpuUtil(const std::vector<JobRecord>& jobs, std::ostream& out) const;
+  void WriteMemUtil(const std::vector<JobRecord>& jobs, std::ostream& out) const;
+
+  // Writes all five files into `directory`. Returns false on I/O failure.
+  bool WriteDirectory(const std::vector<JobRecord>& jobs,
+                      const std::string& directory) const;
+
+  // Formatting helpers (exposed for tests).
+  std::string Timestamp(SimTime t) const;
+  static std::string JobIdOf(const JobRecord& job);
+  static std::string VcHash(VcId vc);
+  static std::string UserHash(UserId user);
+  static std::string MachineIp(ServerId server);
+
+ private:
+  // Per-machine busy GPU-time and utilization-weighted GPU-time per sample
+  // bucket, rebuilt from segments.
+  struct MachineSeries {
+    std::vector<double> busy_gpu_seconds;
+    std::vector<double> util_gpu_seconds;
+  };
+  std::vector<MachineSeries> BuildSeries(const std::vector<JobRecord>& jobs,
+                                         size_t* num_buckets) const;
+
+  ClusterConfig cluster_;
+  PhillyTracesOptions options_;
+  int num_servers_ = 0;
+};
+
+// Importer for the real public release: parses a cluster_job_log (the JSON
+// file shipped by msr-fiddle/philly-traces, or our exporter's output) into
+// JobRecords so the analysis pipeline can run on actual production data.
+// Only the information present in the job log is populated: status, VC and
+// user (hashes mapped to dense ids), submission time, attempts with start /
+// end / placement. Telemetry-dependent analyses (Fig 5/6/7, Tables 3/5) need
+// utilization segments the public job log does not carry.
+class PhillyTracesImporter {
+ public:
+  explicit PhillyTracesImporter(PhillyTracesOptions options = {});
+
+  // Parses the JSON text. On malformed input returns an empty vector and
+  // sets *error (when provided).
+  std::vector<JobRecord> ImportJobLog(std::string_view json_text,
+                                      std::string* error = nullptr);
+
+  // Identifier spaces discovered during import.
+  int num_vcs() const { return static_cast<int>(vc_ids_.size()); }
+  int num_users() const { return static_cast<int>(user_ids_.size()); }
+  int num_machines() const { return static_cast<int>(machine_ids_.size()); }
+
+  // Parses "YYYY-MM-DD HH:MM:SS" into seconds relative to the options'
+  // epoch_offset. Returns false on malformed input (e.g. "None").
+  bool ParseTimestamp(std::string_view text, SimTime* out) const;
+
+ private:
+  PhillyTracesOptions options_;
+  std::map<std::string, VcId, std::less<>> vc_ids_;
+  std::map<std::string, UserId, std::less<>> user_ids_;
+  std::map<std::string, ServerId, std::less<>> machine_ids_;
+};
+
+}  // namespace philly
+
+#endif  // SRC_TRACE_PHILLY_FORMAT_H_

@@ -1,0 +1,238 @@
+#include "src/trace/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "src/common/csv.h"
+#include "src/common/strings.h"
+
+namespace philly {
+namespace {
+
+int64_t ToInt(std::string_view s) {
+  int64_t v = 0;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+
+double ToDouble(std::string_view s) { return std::strtod(std::string(s).c_str(), nullptr); }
+
+JobStatus StatusFromString(std::string_view s) {
+  if (s == "Passed") {
+    return JobStatus::kPassed;
+  }
+  if (s == "Killed") {
+    return JobStatus::kKilled;
+  }
+  return JobStatus::kUnsuccessful;
+}
+
+}  // namespace
+
+std::string EncodePlacement(const Placement& placement) {
+  std::string out;
+  for (size_t i = 0; i < placement.shards.size(); ++i) {
+    if (i > 0) {
+      out += '|';
+    }
+    out += std::to_string(placement.shards[i].server);
+    out += ':';
+    out += std::to_string(placement.shards[i].gpus);
+  }
+  return out;
+}
+
+Placement DecodePlacement(std::string_view text) {
+  Placement placement;
+  if (text.empty()) {
+    return placement;
+  }
+  for (std::string_view part : Split(text, '|')) {
+    const auto fields = Split(part, ':');
+    if (fields.size() != 2) {
+      continue;
+    }
+    placement.shards.push_back({static_cast<ServerId>(ToInt(fields[0])),
+                                static_cast<int>(ToInt(fields[1]))});
+  }
+  return placement;
+}
+
+void TraceWriter::WriteJobs(const std::vector<JobRecord>& jobs, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.Row("job_id", "vc", "user", "submit_time", "num_gpus", "status", "queue_delay_s",
+          "finish_time", "attempts", "retries", "gpu_seconds", "executed_epochs",
+          "planned_epochs", "logs_convergence");
+  for (const auto& job : jobs) {
+    csv.Row(job.spec.id, job.spec.vc, job.spec.user, job.spec.submit_time,
+            job.spec.num_gpus, std::string(ToString(job.status)),
+            job.InitialQueueDelay(), job.finish_time,
+            static_cast<int64_t>(job.attempts.size()),
+            static_cast<int64_t>(job.NumRetries()), job.gpu_seconds,
+            job.executed_epochs, job.spec.planned_epochs,
+            static_cast<int>(job.spec.logs_convergence));
+  }
+}
+
+void TraceWriter::WriteAttempts(const std::vector<JobRecord>& jobs, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.Row("job_id", "attempt", "start", "end", "failed", "preempted", "placement");
+  for (const auto& job : jobs) {
+    for (const auto& attempt : job.attempts) {
+      csv.Row(job.spec.id, attempt.index, attempt.start, attempt.end,
+              static_cast<int>(attempt.failed), static_cast<int>(attempt.preempted),
+              EncodePlacement(attempt.placement));
+    }
+  }
+}
+
+void TraceWriter::WriteUtilSegments(const std::vector<JobRecord>& jobs,
+                                    std::ostream& out) {
+  CsvWriter csv(out);
+  csv.Row("job_id", "segment", "expected_util", "duration_s", "num_servers");
+  for (const auto& job : jobs) {
+    int index = 0;
+    for (const auto& segment : job.util_segments) {
+      csv.Row(job.spec.id, index++, segment.expected_util, segment.duration,
+              segment.num_servers);
+    }
+  }
+}
+
+void TraceWriter::WriteStdoutLogs(const std::vector<JobRecord>& jobs,
+                                  std::ostream& out) {
+  for (const auto& job : jobs) {
+    for (const auto& attempt : job.attempts) {
+      if (attempt.log_tail.empty()) {
+        continue;
+      }
+      out << "=== job " << job.spec.id << " attempt " << attempt.index << '\n';
+      for (const auto& line : attempt.log_tail) {
+        out << line << '\n';
+      }
+    }
+  }
+}
+
+bool TraceWriter::WriteDirectory(const std::vector<JobRecord>& jobs,
+                                 const std::string& directory) {
+  std::ofstream jobs_out(directory + "/jobs.csv");
+  std::ofstream attempts_out(directory + "/attempts.csv");
+  std::ofstream util_out(directory + "/gpu_util.csv");
+  std::ofstream log_out(directory + "/stdout.log");
+  if (!jobs_out || !attempts_out || !util_out || !log_out) {
+    return false;
+  }
+  WriteJobs(jobs, jobs_out);
+  WriteAttempts(jobs, attempts_out);
+  WriteUtilSegments(jobs, util_out);
+  WriteStdoutLogs(jobs, log_out);
+  return true;
+}
+
+std::vector<JobRecord> TraceReader::ReadJobs(std::istream& jobs_csv,
+                                             std::istream& attempts_csv,
+                                             std::istream& util_csv,
+                                             std::istream& stdout_log) {
+  std::vector<JobRecord> jobs;
+  std::map<JobId, size_t> index;
+
+  const auto rows = ReadCsv(jobs_csv);
+  for (size_t i = 1; i < rows.size(); ++i) {  // skip header
+    const auto& r = rows[i];
+    if (r.size() < 14) {
+      continue;
+    }
+    JobRecord job;
+    job.spec.id = ToInt(r[0]);
+    if (job.spec.id <= 0) {
+      continue;  // malformed or empty row
+    }
+    job.spec.vc = static_cast<VcId>(ToInt(r[1]));
+    job.spec.user = static_cast<UserId>(ToInt(r[2]));
+    job.spec.submit_time = ToInt(r[3]);
+    job.spec.num_gpus = static_cast<int>(ToInt(r[4]));
+    job.status = StatusFromString(r[5]);
+    job.finish_time = ToInt(r[7]);
+    job.gpu_seconds = ToDouble(r[10]);
+    job.executed_epochs = static_cast<int>(ToInt(r[11]));
+    job.spec.planned_epochs = static_cast<int>(ToInt(r[12]));
+    job.spec.logs_convergence = ToInt(r[13]) != 0;
+    WaitRecord wait;
+    wait.ready_time = job.spec.submit_time;
+    wait.wait = ToInt(r[6]);
+    job.waits.push_back(wait);
+    index.emplace(job.spec.id, jobs.size());
+    jobs.push_back(std::move(job));
+  }
+
+  const auto attempt_rows = ReadCsv(attempts_csv);
+  for (size_t i = 1; i < attempt_rows.size(); ++i) {
+    const auto& r = attempt_rows[i];
+    if (r.size() < 7) {
+      continue;
+    }
+    const auto it = index.find(ToInt(r[0]));
+    if (it == index.end()) {
+      continue;
+    }
+    AttemptRecord attempt;
+    attempt.index = static_cast<int>(ToInt(r[1]));
+    attempt.start = ToInt(r[2]);
+    attempt.end = ToInt(r[3]);
+    attempt.failed = ToInt(r[4]) != 0;
+    attempt.preempted = ToInt(r[5]) != 0;
+    attempt.placement = DecodePlacement(r[6]);
+    jobs[it->second].attempts.push_back(std::move(attempt));
+  }
+
+  const auto util_rows = ReadCsv(util_csv);
+  for (size_t i = 1; i < util_rows.size(); ++i) {
+    const auto& r = util_rows[i];
+    if (r.size() < 5) {
+      continue;
+    }
+    const auto it = index.find(ToInt(r[0]));
+    if (it == index.end()) {
+      continue;
+    }
+    jobs[it->second].util_segments.push_back(
+        {ToDouble(r[2]), ToInt(r[3]), static_cast<int>(ToInt(r[4]))});
+  }
+
+  // Log tails: framed blocks.
+  std::string line;
+  JobRecord* current_job = nullptr;
+  AttemptRecord* current_attempt = nullptr;
+  while (std::getline(stdout_log, line)) {
+    if (StartsWith(line, "=== job ")) {
+      int64_t job_id = 0;
+      int attempt_index = 0;
+      if (std::sscanf(line.c_str(), "=== job %lld attempt %d",
+                      reinterpret_cast<long long*>(&job_id), &attempt_index) == 2) {
+        current_job = nullptr;
+        current_attempt = nullptr;
+        const auto it = index.find(job_id);
+        if (it != index.end()) {
+          current_job = &jobs[it->second];
+          for (auto& attempt : current_job->attempts) {
+            if (attempt.index == attempt_index) {
+              current_attempt = &attempt;
+              break;
+            }
+          }
+        }
+      }
+      continue;
+    }
+    if (current_attempt != nullptr) {
+      current_attempt->log_tail.push_back(line);
+    }
+  }
+  return jobs;
+}
+
+}  // namespace philly

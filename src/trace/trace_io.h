@@ -1,0 +1,61 @@
+// Trace serialization in the style of the public philly-traces release [38].
+//
+// The released trace ships cluster_job_log (per-job scheduling metadata with
+// per-attempt `server:gpu` placements), cluster_gpu_util, and
+// cluster_mem_util/cpu_util CSVs. We write the same information from a
+// SimulationResult and can read it back, so downstream tooling (and our own
+// analysis round-trip tests) can treat a simulated run exactly like the
+// published artifact.
+//
+// Schemas (one header row each):
+//   jobs.csv:     job_id,vc,user,submit_time,num_gpus,status,queue_delay_s,
+//                 finish_time,attempts,retries,gpu_seconds,executed_epochs,
+//                 planned_epochs,logs_convergence
+//   attempts.csv: job_id,attempt,start,end,failed,preempted,placement
+//                 (placement is "server:gpus|server:gpus|...")
+//   gpu_util.csv: job_id,segment,expected_util,duration_s,num_servers
+//   stdout.log:   per-attempt log tails, framed by "=== job <id> attempt <k>"
+//                 markers (the raw text the failure classifier consumes)
+
+#ifndef SRC_TRACE_TRACE_IO_H_
+#define SRC_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sched/records.h"
+
+namespace philly {
+
+class TraceWriter {
+ public:
+  static void WriteJobs(const std::vector<JobRecord>& jobs, std::ostream& out);
+  static void WriteAttempts(const std::vector<JobRecord>& jobs, std::ostream& out);
+  static void WriteUtilSegments(const std::vector<JobRecord>& jobs, std::ostream& out);
+  static void WriteStdoutLogs(const std::vector<JobRecord>& jobs, std::ostream& out);
+
+  // Writes all four streams into `directory` (jobs.csv, attempts.csv,
+  // gpu_util.csv, stdout.log). Returns false if any file cannot be opened.
+  static bool WriteDirectory(const std::vector<JobRecord>& jobs,
+                             const std::string& directory);
+};
+
+class TraceReader {
+ public:
+  // Reads the three CSV streams back into JobRecords (specs carry the fields
+  // present in the trace; modeling-only spec fields are defaulted). Attempt
+  // log tails are restored from the stdout log.
+  static std::vector<JobRecord> ReadJobs(std::istream& jobs_csv,
+                                         std::istream& attempts_csv,
+                                         std::istream& util_csv,
+                                         std::istream& stdout_log);
+};
+
+// Placement <-> "server:gpus|server:gpus" encoding used by attempts.csv.
+std::string EncodePlacement(const Placement& placement);
+Placement DecodePlacement(std::string_view text);
+
+}  // namespace philly
+
+#endif  // SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,60 @@
+#include "src/workload/job.h"
+
+namespace philly {
+
+std::string_view ToString(JobStatus status) {
+  switch (status) {
+    case JobStatus::kPassed:
+      return "Passed";
+    case JobStatus::kKilled:
+      return "Killed";
+    case JobStatus::kUnsuccessful:
+      return "Unsuccessful";
+  }
+  return "Unknown";
+}
+
+SizeBucket BucketOf(int num_gpus) {
+  if (num_gpus <= 1) {
+    return SizeBucket::k1Gpu;
+  }
+  if (num_gpus <= 4) {
+    return SizeBucket::k2To4Gpu;
+  }
+  if (num_gpus <= 8) {
+    return SizeBucket::k5To8Gpu;
+  }
+  return SizeBucket::kGt8Gpu;
+}
+
+std::string_view ToString(SizeBucket bucket) {
+  switch (bucket) {
+    case SizeBucket::k1Gpu:
+      return "1 GPU";
+    case SizeBucket::k2To4Gpu:
+      return "2-4 GPU";
+    case SizeBucket::k5To8Gpu:
+      return "5-8 GPU";
+    case SizeBucket::kGt8Gpu:
+      return ">8 GPU";
+  }
+  return "Unknown";
+}
+
+std::string_view ToString(ModelFamily family) {
+  switch (family) {
+    case ModelFamily::kResNet:
+      return "resnet";
+    case ModelFamily::kVggLike:
+      return "vgg";
+    case ModelFamily::kLstm:
+      return "lstm";
+    case ModelFamily::kRnnLanguage:
+      return "rnnlm";
+    case ModelFamily::kEmbedding:
+      return "embed";
+  }
+  return "unknown";
+}
+
+}  // namespace philly

@@ -1,0 +1,46 @@
+#include "src/workload/model_zoo.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace philly {
+namespace {
+
+// Base-utilization means are chosen so that, combined with the telemetry
+// model's distribution/interference penalties, the aggregate workload lands
+// on the paper's Table 3 (overall mean ~52% for in-use GPUs). The ResNet mean
+// is pinned by the controlled experiment: SameServer 2-GPU batch-32 = 57.7%.
+// images_per_sec_at_full_util is per GPU; Table 4 implies ~99.5 img/s/GPU for
+// ResNet-50 on a P100 (114.8 img/s across 2 GPUs at 57.7% utilization).
+constexpr std::array<ModelProfile, kNumModelFamilies> kProfiles = {{
+    {ModelFamily::kResNet, 0.577, 0.13, 1.00, 99.5, 32, 0.30},
+    {ModelFamily::kVggLike, 0.680, 0.14, 1.35, 45.0, 32, 0.10},
+    {ModelFamily::kLstm, 0.560, 0.17, 0.85, 0.0, 64, 0.25},
+    {ModelFamily::kRnnLanguage, 0.600, 0.16, 0.90, 0.0, 64, 0.20},
+    {ModelFamily::kEmbedding, 0.480, 0.18, 0.70, 0.0, 128, 0.15},
+}};
+
+}  // namespace
+
+const ModelProfile& ProfileOf(ModelFamily family) {
+  const auto idx = static_cast<size_t>(family);
+  assert(idx < kProfiles.size());
+  return kProfiles[idx];
+}
+
+std::span<const ModelProfile> AllProfiles() { return kProfiles; }
+
+double BatchUtilizationScale(int batch, int reference_batch) {
+  assert(batch > 0 && reference_batch > 0);
+  const double ratio = static_cast<double>(batch) / static_cast<double>(reference_batch);
+  if (ratio >= 1.0) {
+    // 1.0 at the reference batch, 1.23 at 2x (57.7% -> 71.1% for ResNet-50),
+    // saturating at 1.31 ("increases marginally for larger batches").
+    return 1.0 + 0.31 * (1.0 - 1.0 / (ratio * ratio));
+  }
+  // Smaller batches lose utilization gently.
+  return std::pow(ratio, 0.3);
+}
+
+}  // namespace philly

@@ -1,0 +1,78 @@
+#include "src/telemetry/controlled.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/model_zoo.h"
+
+namespace philly {
+namespace {
+
+ClusterConfig Testbed() {
+  ClusterConfig config;
+  config.skus.push_back({1, 2, 4});  // two 4-GPU servers
+  return config;
+}
+
+JobSpec ResNet(JobId id, int gpus) {
+  JobSpec job;
+  job.id = id;
+  job.num_gpus = gpus;
+  job.model = ModelFamily::kResNet;
+  job.base_utilization = ProfileOf(ModelFamily::kResNet).base_util_mean;
+  return job;
+}
+
+TEST(ControlledExperimentTest, ReproducesTable4Calibration) {
+  ControlledExperiment experiment(Testbed());
+  Placement same;
+  same.shards = {{0, 2}};
+  ASSERT_TRUE(experiment.Place(ResNet(1, 2), same));
+  EXPECT_NEAR(experiment.StudyUtilization(), 0.577, 1e-6);
+  EXPECT_NEAR(experiment.StudyImagesPerSecond(), 114.8, 1.0);
+}
+
+TEST(ControlledExperimentTest, BackgroundJobsInterfere) {
+  ControlledExperiment experiment(Testbed());
+  Placement diff;
+  diff.shards = {{0, 1}, {1, 1}};
+  ASSERT_TRUE(experiment.Place(ResNet(1, 2), diff, /*study=*/true));
+  const double alone = experiment.StudyUtilization();
+  EXPECT_NEAR(alone, 0.496, 0.002);
+
+  Placement bg0;
+  bg0.shards = {{0, 2}};
+  Placement bg1;
+  bg1.shards = {{1, 2}};
+  ASSERT_TRUE(experiment.Place(ResNet(2, 2), bg0));
+  ASSERT_TRUE(experiment.Place(ResNet(3, 2), bg1));
+  const double crowded = experiment.StudyUtilization();
+  EXPECT_NEAR(crowded, 0.375, 0.004);
+
+  // Removing the background restores the baseline.
+  experiment.Remove(2);
+  experiment.Remove(3);
+  EXPECT_NEAR(experiment.StudyUtilization(), alone, 1e-9);
+}
+
+TEST(ControlledExperimentTest, RejectsOverfullPlacement) {
+  ControlledExperiment experiment(Testbed());
+  Placement too_big;
+  too_big.shards = {{0, 5}};  // server has 4 GPUs
+  EXPECT_FALSE(experiment.Place(ResNet(1, 5), too_big));
+  EXPECT_DOUBLE_EQ(experiment.StudyUtilization(), 0.0);
+}
+
+TEST(ControlledExperimentTest, FirstJobIsStudyByDefault) {
+  ControlledExperiment experiment(Testbed());
+  Placement a;
+  a.shards = {{0, 2}};
+  Placement b;
+  b.shards = {{1, 2}};
+  ASSERT_TRUE(experiment.Place(ResNet(7, 2), a));
+  ASSERT_TRUE(experiment.Place(ResNet(8, 2), b));
+  EXPECT_NEAR(experiment.StudyUtilization(), experiment.UtilizationOf(7), 1e-12);
+  EXPECT_DOUBLE_EQ(experiment.UtilizationOf(999), 0.0);
+}
+
+}  // namespace
+}  // namespace philly

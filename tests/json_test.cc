@@ -1,0 +1,87 @@
+#include "src/common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace philly {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  std::string error;
+  EXPECT_TRUE(JsonValue::Parse("null", &error).is_null());
+  EXPECT_TRUE(error.empty());
+  EXPECT_TRUE(JsonValue::Parse("true", &error).AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false", &error).AsBool(true));
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("42", &error).AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-3.5e2", &error).AsNumber(), -350.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"", &error).AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const char* text = R"({
+    "status": "Pass",
+    "attempts": [
+      {"start_time": "2017-10-03 19:59:14",
+       "detail": [{"ip": "10.1.2.3", "gpus": ["gpu0", "gpu1"]}]},
+      {"start_time": null, "detail": []}
+    ],
+    "count": 2
+  })";
+  std::string error;
+  const JsonValue root = JsonValue::Parse(text, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(root["status"].AsString(), "Pass");
+  EXPECT_DOUBLE_EQ(root["count"].AsNumber(), 2.0);
+  const auto& attempts = root["attempts"].AsArray();
+  ASSERT_EQ(attempts.size(), 2u);
+  EXPECT_EQ(attempts[0]["detail"].AsArray()[0]["ip"].AsString(), "10.1.2.3");
+  EXPECT_EQ(attempts[0]["detail"].AsArray()[0]["gpus"].size(), 2u);
+  EXPECT_TRUE(attempts[1]["start_time"].is_null());
+  EXPECT_TRUE(root["missing"].is_null());
+}
+
+TEST(JsonTest, EscapesInStrings) {
+  std::string error;
+  const JsonValue v = JsonValue::Parse(R"("line\nbreak \"quoted\" back\\slash")",
+                                       &error);
+  ASSERT_TRUE(error.empty());
+  EXPECT_EQ(v.AsString(), "line\nbreak \"quoted\" back\\slash");
+}
+
+TEST(JsonTest, ReportsErrors) {
+  std::string error;
+  JsonValue::Parse("{\"a\": }", &error);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  JsonValue::Parse("[1, 2", &error);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  JsonValue::Parse("\"unterminated", &error);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  JsonValue::Parse("12 34", &error);  // trailing content
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  JsonValue::Parse("nope", &error);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, EmptyContainers) {
+  std::string error;
+  EXPECT_EQ(JsonValue::Parse("[]", &error).AsArray().size(), 0u);
+  EXPECT_TRUE(error.empty());
+  const JsonValue obj = JsonValue::Parse("{}", &error);
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(obj.size(), 0u);
+}
+
+TEST(JsonTest, TypeMismatchesReturnFallbacks) {
+  std::string error;
+  const JsonValue v = JsonValue::Parse("[1]", &error);
+  EXPECT_DOUBLE_EQ(v.AsNumber(7.0), 7.0);
+  EXPECT_EQ(v.AsString(), "");
+  EXPECT_TRUE(v["key"].is_null());
+  EXPECT_FALSE(v.AsBool());
+}
+
+}  // namespace
+}  // namespace philly

@@ -1,0 +1,94 @@
+// Full paper-scale integration: one 75-day run (the paper's actual window,
+// ~96k jobs) validated against the headline findings. The bench suite prints
+// these same claims with more context; this suite makes them regression
+// tests at the scale that matters.
+
+#include <gtest/gtest.h>
+
+#include "src/core/analysis.h"
+#include "src/core/experiment.h"
+#include "src/core/validate.h"
+
+namespace philly {
+namespace {
+
+class PaperScaleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    run_ = new ExperimentRun(RunExperiment(ExperimentConfig::PaperScale(42)));
+  }
+  static void TearDownTestSuite() {
+    delete run_;
+    run_ = nullptr;
+  }
+  const SimulationResult& result() { return run_->result; }
+  static ExperimentRun* run_;
+};
+
+ExperimentRun* PaperScaleTest::run_ = nullptr;
+
+TEST_F(PaperScaleTest, JobCountMatchesPaper) {
+  // Paper: 96,260 jobs over 75 days across 14 virtual clusters.
+  EXPECT_NEAR(static_cast<double>(result().jobs.size()), 96260.0, 96260.0 * 0.03);
+}
+
+TEST_F(PaperScaleTest, OutputValidates) {
+  const auto report = ValidateJobs(result().jobs);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST_F(PaperScaleTest, StatusSharesInPaperBands) {
+  const auto status = AnalyzeStatus(result().jobs);
+  // Paper: 69.3 / 13.5 / 17.2 (%); ~55% of GPU time on non-passed jobs.
+  EXPECT_NEAR(status.by_status[0].count_share, 0.693, 0.05);
+  EXPECT_NEAR(status.by_status[1].count_share, 0.135, 0.04);
+  EXPECT_NEAR(status.by_status[2].count_share, 0.172, 0.04);
+  EXPECT_GT(status.by_status[1].gpu_time_share +
+                status.by_status[2].gpu_time_share,
+            0.35);
+}
+
+TEST_F(PaperScaleTest, UtilizationHeadlines) {
+  const auto util = AnalyzeUtilization(result().jobs);
+  EXPECT_NEAR(util.all.Mean(), 52.3, 8.0);  // paper 52.3%
+  // 16-GPU lowest, 8-GPU (whole server) above 4-GPU (colocated).
+  EXPECT_LT(util.MeanForSize(3), util.MeanForSize(0));
+  EXPECT_LT(util.MeanForSize(3), util.MeanForSize(1));
+  EXPECT_LT(util.MeanForSize(3), util.MeanForSize(2));
+  EXPECT_GT(util.MeanForSize(2), util.MeanForSize(1));
+  // Fig 6: dedicated 8-GPU clearly beats two-server 16-GPU.
+  EXPECT_GT(util.dedicated_8gpu.Mean(), util.dedicated_16gpu.Mean() + 5.0);
+}
+
+TEST_F(PaperScaleTest, DelayTailsAndCauses) {
+  const auto delays = AnalyzeQueueDelays(result().jobs);
+  // Heavy >8-GPU tail into the 10^2-minute range; 1-GPU jobs rarely wait.
+  EXPECT_GT(delays.overall[3].Quantile(0.99), 30.0);
+  EXPECT_GT(delays.overall[0].CdfAt(1.0), 0.95);
+  const auto causes = AnalyzeDelayCauses(result().jobs, &result());
+  for (int b = 1; b < kNumSizeBuckets; ++b) {
+    EXPECT_LT(causes.by_bucket[static_cast<size_t>(b)].FairShareFraction(), 0.5)
+        << "bucket " << b;
+  }
+  EXPECT_GT(causes.out_of_order_benign_fraction, 0.7);
+}
+
+TEST_F(PaperScaleTest, FailureTaxonomyHeadlines) {
+  const auto failures = AnalyzeFailures(result().jobs);
+  EXPECT_NEAR(static_cast<double>(failures.total_trials), 39776.0, 39776.0 * 0.25);
+  EXPECT_NEAR(failures.no_signature_fraction, 0.042, 0.025);
+  EXPECT_NEAR(failures.top8_job_repetition, 2.3, 0.8);
+  // Retry/unsuccessful gradients.
+  EXPECT_LT(failures.mean_retries_by_bucket[0], failures.mean_retries_by_bucket[3]);
+  EXPECT_LT(failures.unsuccessful_rate_by_bucket[0],
+            failures.unsuccessful_rate_by_bucket[3]);
+}
+
+TEST_F(PaperScaleTest, PreemptionStaysRare) {
+  // Paper: 147 preemption trials in 75 days. Ours lands in the low hundreds.
+  EXPECT_GT(result().preemptions, 0);
+  EXPECT_LT(result().preemptions, 2000);
+}
+
+}  // namespace
+}  // namespace philly

@@ -1,0 +1,129 @@
+// Cross-cutting invariants: the analysis results computed from the in-memory
+// records must be identical to those computed from a trace-file round trip —
+// i.e., the trace artifact loses nothing the analysis needs.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/analysis.h"
+#include "src/core/experiment.h"
+#include "src/trace/trace_io.h"
+
+namespace philly {
+namespace {
+
+class PipelineInvariantsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto config = ExperimentConfig::BenchScale(3, 5);
+    run_ = new ExperimentRun(RunExperiment(config));
+
+    std::stringstream jobs_csv;
+    std::stringstream attempts_csv;
+    std::stringstream util_csv;
+    std::stringstream stdout_log;
+    TraceWriter::WriteJobs(run_->result.jobs, jobs_csv);
+    TraceWriter::WriteAttempts(run_->result.jobs, attempts_csv);
+    TraceWriter::WriteUtilSegments(run_->result.jobs, util_csv);
+    TraceWriter::WriteStdoutLogs(run_->result.jobs, stdout_log);
+    restored_ = new std::vector<JobRecord>(
+        TraceReader::ReadJobs(jobs_csv, attempts_csv, util_csv, stdout_log));
+  }
+  static void TearDownTestSuite() {
+    delete run_;
+    delete restored_;
+    run_ = nullptr;
+    restored_ = nullptr;
+  }
+
+  static ExperimentRun* run_;
+  static std::vector<JobRecord>* restored_;
+};
+
+ExperimentRun* PipelineInvariantsTest::run_ = nullptr;
+std::vector<JobRecord>* PipelineInvariantsTest::restored_ = nullptr;
+
+TEST_F(PipelineInvariantsTest, StatusAnalysisSurvivesRoundTrip) {
+  const auto a = AnalyzeStatus(run_->result.jobs);
+  const auto b = AnalyzeStatus(*restored_);
+  EXPECT_EQ(a.total_jobs, b.total_jobs);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(a.by_status[static_cast<size_t>(s)].count,
+              b.by_status[static_cast<size_t>(s)].count);
+    EXPECT_NEAR(a.by_status[static_cast<size_t>(s)].gpu_time_share,
+                b.by_status[static_cast<size_t>(s)].gpu_time_share, 1e-9);
+  }
+}
+
+TEST_F(PipelineInvariantsTest, RunTimeAnalysisSurvivesRoundTrip) {
+  const auto a = AnalyzeRunTimes(run_->result.jobs);
+  const auto b = AnalyzeRunTimes(*restored_);
+  for (int bucket = 0; bucket < kNumSizeBuckets; ++bucket) {
+    EXPECT_DOUBLE_EQ(a.cdf_minutes[static_cast<size_t>(bucket)].Count(),
+                     b.cdf_minutes[static_cast<size_t>(bucket)].Count());
+    EXPECT_NEAR(a.cdf_minutes[static_cast<size_t>(bucket)].Mean(),
+                b.cdf_minutes[static_cast<size_t>(bucket)].Mean(), 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(a.fraction_over_one_week, b.fraction_over_one_week);
+}
+
+TEST_F(PipelineInvariantsTest, FailureAnalysisSurvivesRoundTrip) {
+  const auto a = AnalyzeFailures(run_->result.jobs);
+  const auto b = AnalyzeFailures(*restored_);
+  EXPECT_EQ(a.total_trials, b.total_trials);
+  for (int r = 0; r < kNumFailureReasons; ++r) {
+    EXPECT_EQ(a.rows[static_cast<size_t>(r)].trials,
+              b.rows[static_cast<size_t>(r)].trials)
+        << ToString(static_cast<FailureReason>(r));
+    EXPECT_EQ(a.rows[static_cast<size_t>(r)].jobs,
+              b.rows[static_cast<size_t>(r)].jobs);
+    EXPECT_NEAR(a.rows[static_cast<size_t>(r)].rtf_p50_min,
+                b.rows[static_cast<size_t>(r)].rtf_p50_min, 1e-6);
+  }
+}
+
+TEST_F(PipelineInvariantsTest, UtilizationAnalysisSurvivesRoundTrip) {
+  // Utilization segments carry limited precision in CSV; means must agree to
+  // within the serialization tolerance.
+  const auto a = AnalyzeUtilization(run_->result.jobs);
+  const auto b = AnalyzeUtilization(*restored_);
+  EXPECT_NEAR(a.all.Mean(), b.all.Mean(), 0.05);
+  EXPECT_NEAR(a.all.Count(), b.all.Count(), 1.0);
+}
+
+TEST_F(PipelineInvariantsTest, GpuTimeConservation) {
+  // Total GPU-time must equal the sum over attempts, independent of path.
+  double from_jobs = 0.0;
+  double from_attempts = 0.0;
+  for (const auto& job : run_->result.jobs) {
+    from_jobs += job.gpu_seconds;
+    for (const auto& attempt : job.attempts) {
+      from_attempts += attempt.GpuTime();
+    }
+  }
+  EXPECT_DOUBLE_EQ(from_jobs, from_attempts);
+}
+
+TEST_F(PipelineInvariantsTest, EveryFailedAttemptClassifiable) {
+  FailureClassifier classifier;
+  int64_t no_signature = 0;
+  int64_t failed = 0;
+  for (const auto& job : *restored_) {
+    for (const auto& attempt : job.attempts) {
+      if (!attempt.failed) {
+        continue;
+      }
+      ++failed;
+      if (classifier.Classify(attempt.log_tail) == FailureReason::kNoSignature) {
+        ++no_signature;
+      }
+    }
+  }
+  ASSERT_GT(failed, 100);
+  // Only genuinely signature-less logs should fall through (paper: 4.2%).
+  EXPECT_LT(static_cast<double>(no_signature) / static_cast<double>(failed), 0.10);
+}
+
+}  // namespace
+}  // namespace philly

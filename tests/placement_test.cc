@@ -1,0 +1,222 @@
+#include "src/sched/placement.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace philly {
+namespace {
+
+// Small(): racks 0-1 are 4x 8-GPU servers; rack 2 is 4x 2-GPU servers.
+
+TEST(PlacerTest, SingleGpuPacksBestFit) {
+  Cluster cluster(ClusterConfig::Small());
+  LocalityPlacer placer;
+  // Server 1 has 6 free (tightest fit), server 0 full, others empty.
+  Placement preload;
+  preload.shards.push_back({1, 2});
+  ASSERT_TRUE(cluster.Allocate(99, preload));
+  Placement full;
+  full.shards.push_back({0, 8});
+  ASSERT_TRUE(cluster.Allocate(98, full));
+
+  const auto placement = placer.FindPlacement(cluster, 1, 0);
+  ASSERT_TRUE(placement.has_value());
+  ASSERT_EQ(placement->NumServers(), 1);
+  // Best fit prefers the 2-GPU SKU servers (2 free) over server 1 (6 free).
+  EXPECT_EQ(cluster.ServerCapacity(placement->shards[0].server), 2);
+}
+
+TEST(PlacerTest, DedicatedModeSpreadsSmallJobs) {
+  Cluster cluster(ClusterConfig::Small());
+  PlacerConfig config;
+  config.pack_small_jobs = false;
+  LocalityPlacer placer(config);
+  Placement preload;
+  preload.shards.push_back({1, 2});
+  ASSERT_TRUE(cluster.Allocate(99, preload));
+
+  const auto placement = placer.FindPlacement(cluster, 1, 0);
+  ASSERT_TRUE(placement.has_value());
+  // Worst fit: an empty 8-GPU server.
+  EXPECT_EQ(cluster.ServerFree(placement->shards[0].server), 8);
+}
+
+TEST(PlacerTest, WholeServerJobTakesOneServer) {
+  Cluster cluster(ClusterConfig::Small());
+  LocalityPlacer placer;
+  const auto placement = placer.FindPlacement(cluster, 8, 0);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->NumServers(), 1);
+  EXPECT_EQ(placement->NumGpus(), 8);
+}
+
+TEST(PlacerTest, StrictLevelZeroRequiresSingleServerForSmall) {
+  Cluster cluster(ClusterConfig::Small());
+  LocalityPlacer placer;
+  // Leave at most 3 free on every 8-GPU server; 2-GPU servers full.
+  for (ServerId s = 0; s < cluster.NumServers(); ++s) {
+    const int cap = cluster.ServerCapacity(s);
+    Placement p;
+    p.shards.push_back({s, cap == 8 ? 5 : 2});
+    ASSERT_TRUE(cluster.Allocate(100 + s, p));
+  }
+  EXPECT_FALSE(placer.FindPlacement(cluster, 4, 0).has_value());
+  // Relaxed: two servers within one rack are allowed.
+  const auto relaxed = placer.FindPlacement(cluster, 4, 1);
+  ASSERT_TRUE(relaxed.has_value());
+  EXPECT_LE(relaxed->NumServers(), 2);
+  const RackId rack = cluster.ServerRack(relaxed->shards[0].server);
+  for (const auto& shard : relaxed->shards) {
+    EXPECT_EQ(cluster.ServerRack(shard.server), rack);
+  }
+}
+
+TEST(PlacerTest, MultiServerStrictUsesMinimumFullServers) {
+  Cluster cluster(ClusterConfig::Small());
+  LocalityPlacer placer;
+  const auto placement = placer.FindPlacement(cluster, 16, 0);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->NumServers(), 2);
+  const RackId rack = cluster.ServerRack(placement->shards[0].server);
+  for (const auto& shard : placement->shards) {
+    EXPECT_EQ(shard.gpus, 8);
+    EXPECT_EQ(cluster.ServerRack(shard.server), rack);
+  }
+}
+
+TEST(PlacerTest, StrictMultiServerFailsWhenRackFragmented) {
+  Cluster cluster(ClusterConfig::Small());
+  LocalityPlacer placer;
+  // One GPU on each 8-GPU server: no fully-free server remains.
+  for (RackId r = 0; r < 2; ++r) {
+    for (ServerId s : cluster.ServersInRack(r)) {
+      Placement p;
+      p.shards.push_back({s, 1});
+      ASSERT_TRUE(cluster.Allocate(200 + s, p));
+    }
+  }
+  EXPECT_FALSE(placer.FindPlacement(cluster, 16, 0).has_value());
+  // Level 1 allows any servers within one rack: 4 servers x 7 free = 28 >= 16.
+  const auto relaxed = placer.FindPlacement(cluster, 16, 1);
+  ASSERT_TRUE(relaxed.has_value());
+  const RackId rack = cluster.ServerRack(relaxed->shards[0].server);
+  for (const auto& shard : relaxed->shards) {
+    EXPECT_EQ(cluster.ServerRack(shard.server), rack);
+  }
+}
+
+TEST(PlacerTest, FullyRelaxedCrossesRacks) {
+  Cluster cluster(ClusterConfig::Small());
+  LocalityPlacer placer;
+  // 5 GPUs free per 8-GPU rack server after preloading 3 each.
+  for (RackId r = 0; r < 2; ++r) {
+    for (ServerId s : cluster.ServersInRack(r)) {
+      Placement p;
+      p.shards.push_back({s, 3});
+      ASSERT_TRUE(cluster.Allocate(300 + s, p));
+    }
+  }
+  // 44 GPUs free overall (2x4x5 + 8); a 42-GPU job needs cross-rack spread.
+  EXPECT_FALSE(placer.FindPlacement(cluster, 42, 1).has_value());
+  const auto placement = placer.FindPlacement(cluster, 42, 3);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->NumGpus(), 42);
+}
+
+TEST(PlacerTest, SpreadCapRespected) {
+  Cluster cluster(ClusterConfig::Small());
+  PlacerConfig config;
+  config.max_spread_servers = 3;
+  LocalityPlacer placer(config);
+  // 2 free GPUs per 8-GPU server.
+  for (RackId r = 0; r < 2; ++r) {
+    for (ServerId s : cluster.ServersInRack(r)) {
+      Placement p;
+      p.shards.push_back({s, 6});
+      ASSERT_TRUE(cluster.Allocate(400 + s, p));
+    }
+  }
+  // 12 GPUs would need 6 servers at 2 free each: over the cap of 3.
+  EXPECT_FALSE(placer.FindPlacement(cluster, 12, 3).has_value());
+  EXPECT_TRUE(placer.FindPlacement(cluster, 6, 3).has_value());
+}
+
+TEST(PlacerTest, InsufficientTotalGpusFailsFast) {
+  Cluster cluster(ClusterConfig::Small());
+  LocalityPlacer placer;
+  EXPECT_FALSE(placer.FindPlacement(cluster, 1000, 3).has_value());
+}
+
+TEST(PlacerTest, PrefersEmptierRackForBigJobs) {
+  Cluster cluster(ClusterConfig::Small());
+  LocalityPlacer placer;
+  // Rack 0 partially used; rack 1 empty.
+  Placement p;
+  p.shards.push_back({0, 8});
+  ASSERT_TRUE(cluster.Allocate(1, p));
+  const auto placement = placer.FindPlacement(cluster, 16, 0);
+  ASSERT_TRUE(placement.has_value());
+  for (const auto& shard : placement->shards) {
+    EXPECT_EQ(cluster.ServerRack(shard.server), 1);
+  }
+}
+
+TEST(PlacerTest, NeverReturnsInvalidPlacement) {
+  // Fuzz: placements returned must always be allocatable.
+  Rng rng(99);
+  Cluster cluster(ClusterConfig::Small());
+  LocalityPlacer placer;
+  JobId next = 1;
+  std::vector<JobId> held;
+  for (int step = 0; step < 3000; ++step) {
+    const int gpus = static_cast<int>(rng.Between(1, 24));
+    const int level = static_cast<int>(rng.Between(0, 3));
+    const auto placement = placer.FindPlacement(cluster, gpus, level);
+    if (placement.has_value()) {
+      ASSERT_EQ(placement->NumGpus(), gpus);
+      ASSERT_TRUE(cluster.Allocate(next, *placement));
+      held.push_back(next++);
+    }
+    if (!held.empty() && rng.Bernoulli(0.5)) {
+      const size_t pick = rng.Below(held.size());
+      cluster.Release(held[pick]);
+      held.erase(held.begin() + static_cast<long>(pick));
+    }
+  }
+}
+
+// Relaxation ladder property: if a placement exists at level L, one exists at
+// every level above L (monotone feasibility).
+class RelaxMonotonicity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RelaxMonotonicity, HigherLevelsNeverLoseFeasibility) {
+  Rng rng(GetParam());
+  Cluster cluster(ClusterConfig::Small());
+  LocalityPlacer placer;
+  // Random partial load.
+  JobId next = 1;
+  for (int i = 0; i < 20; ++i) {
+    const int gpus = static_cast<int>(rng.Between(1, 8));
+    const auto placement = placer.FindPlacement(cluster, gpus, 3);
+    if (placement.has_value()) {
+      ASSERT_TRUE(cluster.Allocate(next++, *placement));
+    }
+  }
+  for (int gpus : {1, 2, 4, 8, 12, 16, 24}) {
+    bool feasible_below = false;
+    for (int level = 0; level <= kMaxRelaxLevel; ++level) {
+      const bool feasible = placer.FindPlacement(cluster, gpus, level).has_value();
+      if (feasible_below) {
+        EXPECT_TRUE(feasible) << "gpus=" << gpus << " level=" << level;
+      }
+      feasible_below |= feasible;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelaxMonotonicity,
+                         ::testing::Values(2, 11, 29, 47, 83, 131));
+
+}  // namespace
+}  // namespace philly

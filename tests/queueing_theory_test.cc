@@ -1,0 +1,150 @@
+// Validation of the scheduler runtime against closed-form queueing theory.
+//
+// With 1-GPU jobs, exponential service, Poisson arrivals, no failures, no
+// kills, and one server of c GPUs, the simulator is an M/M/c queue with FIFO
+// discipline: its mean waiting time must match the Erlang-C formula. This
+// pins the event engine, the scheduling-pass triggering, and the queue
+// bookkeeping against ground truth mathematics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sched/simulation.h"
+
+namespace philly {
+namespace {
+
+// Erlang-C probability of waiting for c servers at offered load a (Erlangs).
+double ErlangC(int c, double a) {
+  double sum = 0.0;
+  double term = 1.0;  // a^k / k!
+  for (int k = 0; k < c; ++k) {
+    sum += term;
+    term *= a / (k + 1);
+  }
+  // term is now a^c / c!.
+  const double last = term * c / (c - a);
+  return last / (sum + last);
+}
+
+struct MmcSetup {
+  int servers_gpus = 8;
+  double offered_load = 6.4;            // Erlangs
+  double mean_service_seconds = 600.0;  // E[S]
+  int num_jobs = 150000;
+};
+
+SimulationResult RunMmc(const MmcSetup& setup, uint64_t seed) {
+  // One 8-GPU server; 1-GPU jobs: any free GPU serves any job.
+  ClusterConfig cluster;
+  cluster.skus.push_back({1, 1, setup.servers_gpus});
+
+  const double lambda = setup.offered_load / setup.mean_service_seconds;  // per sec
+  Rng rng(seed);
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<size_t>(setup.num_jobs));
+  SimTime t = 0;
+  for (int i = 0; i < setup.num_jobs; ++i) {
+    t += static_cast<SimTime>(std::ceil(rng.Exponential(1.0 / lambda)));
+    JobSpec job;
+    job.id = i + 1;
+    job.vc = 0;
+    job.submit_time = t;
+    job.num_gpus = 1;
+    job.planned_duration =
+        std::max<SimDuration>(1, static_cast<SimDuration>(std::llround(
+                                     rng.Exponential(setup.mean_service_seconds))));
+    job.planned_epochs = 10;
+    jobs.push_back(job);
+  }
+
+  SimulationConfig config;
+  config.cluster = cluster;
+  config.vcs = {{"mmc", setup.servers_gpus, 1.0, 1.0, true}};
+  config.failure.failure_scale = 0.0;  // pure service times
+  config.scheduler.enable_preemption = false;
+  config.seed = seed;
+  ClusterSimulation sim(config, std::move(jobs));
+  return sim.Run();
+}
+
+TEST(QueueingTheoryTest, MeanWaitMatchesErlangC) {
+  const MmcSetup setup;
+  const SimulationResult result = RunMmc(setup, 11);
+
+  double wait_sum = 0.0;
+  double service_sum = 0.0;
+  for (const auto& job : result.jobs) {
+    EXPECT_EQ(job.status, JobStatus::kPassed);
+    wait_sum += static_cast<double>(job.InitialQueueDelay());
+    service_sum += static_cast<double>(job.TotalRunTime());
+  }
+  const double measured_wait = wait_sum / static_cast<double>(result.jobs.size());
+  const double measured_service =
+      service_sum / static_cast<double>(result.jobs.size());
+
+  // Theory: Wq = C(c, a) * E[S] / (c - a).
+  const double c = setup.servers_gpus;
+  const double a = setup.offered_load;
+  const double expected_wait =
+      ErlangC(setup.servers_gpus, a) * setup.mean_service_seconds / (c - a);
+
+  EXPECT_NEAR(measured_service, setup.mean_service_seconds,
+              setup.mean_service_seconds * 0.02);
+  EXPECT_NEAR(measured_wait, expected_wait, expected_wait * 0.10)
+      << "ErlangC=" << ErlangC(setup.servers_gpus, a);
+}
+
+TEST(QueueingTheoryTest, LowLoadMeansNoWaiting) {
+  MmcSetup setup;
+  setup.offered_load = 1.0;  // 12.5% load on 8 servers
+  setup.num_jobs = 20000;
+  const SimulationResult result = RunMmc(setup, 13);
+  double wait_sum = 0.0;
+  for (const auto& job : result.jobs) {
+    wait_sum += static_cast<double>(job.InitialQueueDelay());
+  }
+  // Erlang-C predicts ~0.09s mean wait at this load.
+  EXPECT_LT(wait_sum / static_cast<double>(result.jobs.size()), 2.0);
+}
+
+// Load sweep: measured mean wait tracks Erlang-C across utilization levels.
+class ErlangSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ErlangSweep, TracksTheory) {
+  MmcSetup setup;
+  setup.offered_load = GetParam();
+  setup.num_jobs = 200000;
+  const SimulationResult result = RunMmc(setup, 17);
+  // Trim the empty-queue warm-up (it biases the mean wait low, increasingly
+  // so near saturation) and compute the *realized* offered load — the
+  // integer-second rounding of gaps and services shifts it slightly.
+  const size_t skip = result.jobs.size() / 10;
+  double wait_sum = 0.0;
+  double service_sum = 0.0;
+  size_t n = 0;
+  for (size_t i = skip; i < result.jobs.size(); ++i) {
+    wait_sum += static_cast<double>(result.jobs[i].InitialQueueDelay());
+    service_sum += static_cast<double>(result.jobs[i].TotalRunTime());
+    ++n;
+  }
+  const double measured = wait_sum / static_cast<double>(n);
+  const double mean_service = service_sum / static_cast<double>(n);
+  const double mean_gap =
+      static_cast<double>(result.jobs.back().spec.submit_time -
+                          result.jobs[skip].spec.submit_time) /
+      static_cast<double>(n - 1);
+  const double a_eff = mean_service / mean_gap;
+  const double expected = ErlangC(setup.servers_gpus, a_eff) * mean_service /
+                          (setup.servers_gpus - a_eff);
+  // Absolute slack covers integer-time rounding; relative slack covers
+  // finite-sample noise (heavier near saturation).
+  EXPECT_NEAR(measured, expected, 2.0 + expected * 0.15)
+      << "offered load " << setup.offered_load << " (realized " << a_eff << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, ErlangSweep, ::testing::Values(4.0, 5.6, 6.4, 7.0));
+
+}  // namespace
+}  // namespace philly

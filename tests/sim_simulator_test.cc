@@ -1,0 +1,170 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace philly {
+namespace {
+
+TEST(SimulatorTest, ProcessesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, TiesAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesNow) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.ProcessedCount(), 0u);
+}
+
+TEST(SimulatorTest, DoubleCancelReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(10, [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(10, [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, CancelUnknownIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(EventId{12345}));
+  EXPECT_FALSE(sim.Cancel(EventId{}));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(100, [&] { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 50);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, RunUntilInclusiveOfDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(50, [&] { fired = true; });
+  sim.RunUntil(50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StepProcessesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&] { ++fired; });
+  sim.ScheduleAt(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunAreProcessed) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 100) {
+      sim.ScheduleAfter(1, step);
+    }
+  };
+  sim.ScheduleAt(0, step);
+  sim.Run();
+  EXPECT_EQ(chain, 100);
+  EXPECT_EQ(sim.Now(), 99);
+  EXPECT_EQ(sim.ProcessedCount(), 100u);
+}
+
+TEST(SimulatorTest, PendingCountTracksQueue) {
+  Simulator sim;
+  const EventId a = sim.ScheduleAt(10, [] {});
+  sim.ScheduleAt(20, [] {});
+  EXPECT_EQ(sim.PendingCount(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.PendingCount(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.PendingCount(), 0u);
+}
+
+// Property: a random mix of schedules and cancels always fires events in
+// nondecreasing time order and never fires cancelled events.
+class SimulatorFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulatorFuzz, OrderAndCancellationInvariants) {
+  Simulator sim;
+  Rng rng(GetParam());
+  std::vector<SimTime> fired;
+  std::vector<EventId> live;
+  std::vector<EventId> cancelled;
+
+  for (int i = 0; i < 500; ++i) {
+    const SimTime t = static_cast<SimTime>(rng.Below(10000));
+    live.push_back(sim.ScheduleAt(t, [&fired, &sim] { fired.push_back(sim.Now()); }));
+    if (!live.empty() && rng.Bernoulli(0.3)) {
+      const size_t pick = rng.Below(live.size());
+      if (sim.Cancel(live[pick])) {
+        cancelled.push_back(live[pick]);
+      }
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+  }
+  sim.Run();
+  EXPECT_EQ(fired.size(), live.size());
+  for (size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+  for (EventId id : cancelled) {
+    EXPECT_FALSE(sim.Cancel(id));  // stays cancelled
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorFuzz,
+                         ::testing::Values(1, 7, 42, 99, 1234, 5678));
+
+}  // namespace
+}  // namespace philly

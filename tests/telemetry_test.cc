@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/telemetry/host_model.h"
+#include "src/telemetry/sampler.h"
+#include "src/telemetry/util_model.h"
+#include "src/workload/model_zoo.h"
+
+namespace philly {
+namespace {
+
+// The Table 4 controlled experiment: ResNet-50, 2 GPUs, servers with 4 P100s.
+// These four tests pin the calibration points the whole utilization model is
+// anchored to.
+
+JobActivity ResNetActivity(double base, int gpus, int servers) {
+  return JobActivity{base, 1.0, gpus, servers};
+}
+
+TEST(UtilModelTable4Test, SameServer) {
+  UtilizationModel model;
+  // Dedicated single server: no penalties; base = 57.7%.
+  EXPECT_DOUBLE_EQ(model.DistributionPenalty(1, 1.0), 1.0);
+  const ShardContext shard{2, 4, 0.0, 0.0};
+  EXPECT_NEAR(model.ShardUtilization(0.577, shard), 0.577, 1e-9);
+}
+
+TEST(UtilModelTable4Test, DiffServer) {
+  UtilizationModel model;
+  const double util = 0.577 * model.DistributionPenalty(2, 1.0);
+  EXPECT_NEAR(util, 0.496, 0.002);
+}
+
+TEST(UtilModelTable4Test, IntraServer) {
+  UtilizationModel model;
+  // Job under study: DiffServer (2 servers). Co-tenant per server: one
+  // SameServer 2-GPU ResNet job (activity 0.577) on a 4-GPU server.
+  const double base_after_dist = 0.577 * model.DistributionPenalty(2, 1.0);
+  ShardContext shard{1, 4, 0.0, 0.0};
+  shard.pcie_load = model.NeighborLoadShare(ResNetActivity(0.577, 2, 1), 2, 4);
+  const double util = model.ShardUtilization(base_after_dist, shard);
+  EXPECT_NEAR(util, 0.375, 0.004);
+}
+
+TEST(UtilModelTable4Test, InterServer) {
+  UtilizationModel model;
+  // Co-tenants: two DiffServer 2-GPU jobs, each with 1 GPU on this server.
+  const double base_after_dist = 0.577 * model.DistributionPenalty(2, 1.0);
+  ShardContext shard{1, 4, 0.0, 0.0};
+  const double each = model.NeighborLoadShare(ResNetActivity(0.577, 2, 2), 1, 4);
+  shard.pcie_load = 2 * each;
+  shard.net_load = 2 * each;  // both co-tenants are distributed
+  const double util = model.ShardUtilization(base_after_dist, shard);
+  EXPECT_NEAR(util, 0.365, 0.004);
+}
+
+TEST(UtilModelTable4Test, ImagesPerSecond) {
+  UtilizationModel model;
+  JobSpec job;
+  job.model = ModelFamily::kResNet;
+  job.num_gpus = 2;
+  job.batch_size = 32;
+  // Table 4 row 2: 114.8 / 98.0 / 75.6 / 74.1 images/s.
+  EXPECT_NEAR(model.ImagesPerSecond(job, 0.577), 114.8, 1.5);
+  EXPECT_NEAR(model.ImagesPerSecond(job, 0.496), 98.0, 1.5);
+  EXPECT_NEAR(model.ImagesPerSecond(job, 0.375), 75.6, 1.5);
+  EXPECT_NEAR(model.ImagesPerSecond(job, 0.365), 74.1, 1.8);
+}
+
+TEST(UtilModelTest, DistributionPenaltyMonotoneInServers) {
+  UtilizationModel model;
+  double prev = model.DistributionPenalty(1, 1.0);
+  for (int servers = 2; servers <= 16; ++servers) {
+    const double p = model.DistributionPenalty(servers, 1.0);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.5);  // bounded: sync cost saturates
+}
+
+TEST(UtilModelTest, PenaltyScalesWithCommIntensity) {
+  UtilizationModel model;
+  EXPECT_LT(model.DistributionPenalty(4, 1.35),
+            model.DistributionPenalty(4, 0.7));
+}
+
+TEST(UtilModelTest, SingleGpuNeighborsDiscounted) {
+  UtilizationModel model;
+  const double multi = model.NeighborLoadShare(ResNetActivity(0.6, 2, 1), 2, 8);
+  const double single = model.NeighborLoadShare(ResNetActivity(0.6, 1, 1), 2, 8);
+  EXPECT_LT(single, 0.5 * multi);
+}
+
+TEST(UtilModelTest, InterferenceCapped) {
+  UtilizationModel model;
+  ShardContext shard{1, 8, 10.0, 10.0};  // absurd loads
+  const double util = model.ShardUtilization(0.6, shard);
+  EXPECT_GT(util, 0.1);  // caps keep utilization positive
+}
+
+TEST(UtilModelTest, ExpectedUtilizationWeightsShards) {
+  UtilizationModel model;
+  Cluster cluster(ClusterConfig::Small());
+  // Co-tenant on server 0 only.
+  Placement cotenant;
+  cotenant.shards.push_back({0, 4});
+  ASSERT_TRUE(cluster.Allocate(99, cotenant));
+
+  JobSpec job;
+  job.id = 1;
+  job.num_gpus = 8;
+  job.base_utilization = 0.6;
+  job.model = ModelFamily::kResNet;
+  Placement placement;
+  placement.shards.push_back({0, 4});
+  placement.shards.push_back({1, 4});
+  ASSERT_TRUE(cluster.Allocate(1, placement));
+
+  const auto activity_of = [](JobId) { return JobActivity{0.6, 1.0, 4, 1}; };
+  const double util = model.ExpectedUtilization(job, placement, cluster, activity_of);
+  // Shard on server 0 is interfered with; shard on server 1 is clean.
+  const double base = 0.6 * model.DistributionPenalty(2, 1.0);
+  EXPECT_LT(util, base);
+  EXPECT_GT(util, base * 0.75);
+}
+
+TEST(UtilModelTest, EmptyPlacementIsZero) {
+  UtilizationModel model;
+  Cluster cluster(ClusterConfig::Small());
+  JobSpec job;
+  EXPECT_DOUBLE_EQ(
+      model.ExpectedUtilization(job, Placement{}, cluster,
+                                [](JobId) { return JobActivity{}; }),
+      0.0);
+}
+
+// ------------------------------------------------------------------ sampler
+
+TEST(SamplerTest, MassConservation) {
+  GangliaSampler sampler;
+  double total_weight = 0.0;
+  sampler.SampleSegment(0.5, Hours(10), 1,
+                        [&](double, double w) { total_weight += w; });
+  EXPECT_NEAR(total_weight, 600.0, 1e-6);  // 600 GPU-minutes
+}
+
+TEST(SamplerTest, BoundedSampleCount) {
+  SamplerConfig config;
+  config.max_samples_per_segment = 64;
+  GangliaSampler sampler(config);
+  int count = 0;
+  sampler.SampleSegment(0.5, Days(30), 2, [&](double, double) { ++count; });
+  EXPECT_EQ(count, 64);
+}
+
+TEST(SamplerTest, ShortSegmentsOneSamplePerMinute) {
+  GangliaSampler sampler;
+  int count = 0;
+  sampler.SampleSegment(0.5, Minutes(5), 3, [&](double, double) { ++count; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SamplerTest, MeanTracksExpectedUtil) {
+  GangliaSampler sampler;
+  double weighted = 0.0;
+  double weight = 0.0;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    sampler.SampleSegment(0.6, Hours(2), seed, [&](double v, double w) {
+      weighted += v * w;
+      weight += w;
+    });
+  }
+  EXPECT_NEAR(weighted / weight, 60.0, 1.5);  // percent
+}
+
+TEST(SamplerTest, ValuesClampedToPercentRange) {
+  SamplerConfig config;
+  config.jitter_sigma = 0.5;  // huge jitter
+  GangliaSampler sampler(config);
+  sampler.SampleSegment(0.95, Hours(3), 7, [&](double v, double) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 100.0);
+  });
+}
+
+TEST(SamplerTest, DeterministicPerSeed) {
+  GangliaSampler sampler;
+  std::vector<double> a;
+  std::vector<double> b;
+  sampler.SampleSegment(0.4, Hours(1), 9, [&](double v, double) { a.push_back(v); });
+  sampler.SampleSegment(0.4, Hours(1), 9, [&](double v, double) { b.push_back(v); });
+  EXPECT_EQ(a, b);
+  std::vector<double> c;
+  sampler.SampleSegment(0.4, Hours(1), 10, [&](double v, double) { c.push_back(v); });
+  EXPECT_NE(a, c);
+}
+
+TEST(SamplerTest, ZeroDurationEmitsNothing) {
+  GangliaSampler sampler;
+  int count = 0;
+  sampler.SampleSegment(0.5, 0, 1, [&](double, double) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+// --------------------------------------------------------------- host model
+
+TEST(HostModelTest, CpuLowMemoryHigh) {
+  // Fig 7 shape: aggregate CPU activity well below memory activity.
+  double cpu_sum = 0.0;
+  double mem_sum = 0.0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    JobSpec job;
+    job.id = i;
+    job.model = static_cast<ModelFamily>(i % kNumModelFamilies);
+    const HostActivity activity = HostActivityFor(job, 1);
+    EXPECT_GE(activity.cpu_fraction, 0.02);
+    EXPECT_LE(activity.cpu_fraction, 1.0);
+    EXPECT_GE(activity.memory_fraction, 0.05);
+    EXPECT_LE(activity.memory_fraction, 1.0);
+    cpu_sum += activity.cpu_fraction;
+    mem_sum += activity.memory_fraction;
+  }
+  EXPECT_LT(cpu_sum / kN, 0.45);
+  EXPECT_GT(mem_sum / kN, 0.70);
+}
+
+TEST(HostModelTest, DeterministicPerJob) {
+  JobSpec job;
+  job.id = 77;
+  job.model = ModelFamily::kLstm;
+  const HostActivity a = HostActivityFor(job, 5);
+  const HostActivity b = HostActivityFor(job, 5);
+  EXPECT_DOUBLE_EQ(a.cpu_fraction, b.cpu_fraction);
+  EXPECT_DOUBLE_EQ(a.memory_fraction, b.memory_fraction);
+}
+
+TEST(HostModelTest, EmbeddingModelsUseMoreCpu) {
+  double embed_cpu = 0.0;
+  double resnet_cpu = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    JobSpec job;
+    job.id = i;
+    job.model = ModelFamily::kEmbedding;
+    embed_cpu += HostActivityFor(job, 1).cpu_fraction;
+    job.model = ModelFamily::kResNet;
+    resnet_cpu += HostActivityFor(job, 1).cpu_fraction;
+  }
+  EXPECT_GT(embed_cpu, resnet_cpu * 1.2);
+}
+
+}  // namespace
+}  // namespace philly

@@ -1,0 +1,122 @@
+#include "src/core/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+
+namespace philly {
+namespace {
+
+JobRecord CleanJob() {
+  JobRecord job;
+  job.spec.id = 1;
+  job.spec.num_gpus = 8;
+  job.spec.submit_time = 100;
+  job.finish_time = 700;
+  WaitRecord wait;
+  wait.wait = 50;
+  wait.fragmentation_time = 40;
+  job.waits.push_back(wait);
+  AttemptRecord attempt;
+  attempt.start = 150;
+  attempt.end = 700;
+  attempt.placement.shards = {{0, 8}};
+  job.attempts.push_back(attempt);
+  job.util_segments.push_back({0.5, 550, 1});
+  job.gpu_seconds = 550.0 * 8;
+  return job;
+}
+
+TEST(ValidateTest, CleanRecordPasses) {
+  const auto report = ValidateJobs({CleanJob()});
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_EQ(report.jobs_checked, 1);
+  EXPECT_EQ(report.attempts_checked, 1);
+}
+
+TEST(ValidateTest, DetectsGangSizeMismatch) {
+  auto job = CleanJob();
+  job.attempts[0].placement.shards = {{0, 4}};
+  job.gpu_seconds = 550.0 * 4;
+  const auto report = ValidateJobs({job});
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].what.find("gang size"), std::string::npos);
+}
+
+TEST(ValidateTest, DetectsOverlappingAttempts) {
+  auto job = CleanJob();
+  AttemptRecord second = job.attempts[0];
+  second.index = 1;
+  second.start = 600;  // overlaps the first attempt
+  second.end = 900;
+  job.attempts.push_back(second);
+  job.waits.push_back(WaitRecord{});
+  job.util_segments.push_back({0.5, 300, 1});
+  job.gpu_seconds += 300.0 * 8;
+  const auto report = ValidateJobs({job});
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].what.find("starts before"), std::string::npos);
+}
+
+TEST(ValidateTest, DetectsGpuTimeMismatch) {
+  auto job = CleanJob();
+  job.gpu_seconds = 1.0;
+  const auto report = ValidateJobs({job});
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].what.find("gpu_seconds"), std::string::npos);
+}
+
+TEST(ValidateTest, DetectsSegmentGap) {
+  auto job = CleanJob();
+  job.util_segments[0].duration = 100;  // attempts total 550
+  const auto report = ValidateJobs({job});
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].what.find("segments cover"), std::string::npos);
+  ValidateOptions lax;
+  lax.check_segment_coverage = false;
+  EXPECT_TRUE(ValidateJobs({job}, lax).ok());
+}
+
+TEST(ValidateTest, DetectsBadWaitAttribution) {
+  auto job = CleanJob();
+  job.waits[0].fair_share_time = 1000;  // exceeds the 50s wait
+  const auto report = ValidateJobs({job});
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].what.find("attribution"), std::string::npos);
+}
+
+TEST(ValidateTest, IssueCapRespected) {
+  std::vector<JobRecord> jobs;
+  for (int i = 0; i < 50; ++i) {
+    auto job = CleanJob();
+    job.spec.id = i + 1;
+    job.gpu_seconds = -1.0;
+    jobs.push_back(job);
+  }
+  ValidateOptions options;
+  options.max_issues = 5;
+  const auto report = ValidateJobs(jobs, options);
+  EXPECT_EQ(report.issues.size(), 5u);
+  EXPECT_EQ(report.jobs_checked, 50);
+}
+
+// Property: simulator output validates cleanly across seeds and scheduler
+// features — the library-level statement of what the per-feature tests assert
+// piecewise.
+class SimulatorOutputValid : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimulatorOutputValid, EveryRunValidates) {
+  ExperimentConfig config = ExperimentConfig::BenchScale(2, GetParam());
+  // Exercise the optional mechanisms too.
+  config.simulation.scheduler.enable_prerun_pool = (GetParam() % 2) == 0;
+  config.simulation.scheduler.enable_migration = (GetParam() % 3) == 0;
+  const ExperimentRun run = RunExperiment(config);
+  const auto report = ValidateJobs(run.result.jobs);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorOutputValid,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace philly

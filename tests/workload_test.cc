@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/workload/generator.h"
+#include "src/workload/job.h"
+#include "src/workload/loss_curve.h"
+#include "src/workload/model_zoo.h"
+
+namespace philly {
+namespace {
+
+WorkloadConfig TestConfig(int days = 4, uint64_t seed = 1) {
+  WorkloadConfig config = WorkloadConfig::Scaled(days, seed);
+  config.prepopulate_busy_gpus = 0;   // pure arrival stream for rate tests
+  config.mean_burst_interval = 0;     // no deadline pushes
+  config.weekly_amplitude = 0.0;
+  return config;
+}
+
+TEST(GeneratorTest, BurstsInflateArrivals) {
+  WorkloadConfig quiet = TestConfig(20, 3);
+  WorkloadConfig bursty = TestConfig(20, 3);
+  bursty.mean_burst_interval = Days(6);
+  bursty.min_burst_multiplier = 2.0;
+  bursty.max_burst_multiplier = 3.0;
+  const auto base = WorkloadGenerator(quiet).Generate().size();
+  const auto inflated = WorkloadGenerator(bursty).Generate().size();
+  EXPECT_GT(inflated, base + base / 20);
+}
+
+TEST(JobTest, BucketBoundaries) {
+  EXPECT_EQ(BucketOf(1), SizeBucket::k1Gpu);
+  EXPECT_EQ(BucketOf(2), SizeBucket::k2To4Gpu);
+  EXPECT_EQ(BucketOf(4), SizeBucket::k2To4Gpu);
+  EXPECT_EQ(BucketOf(5), SizeBucket::k5To8Gpu);
+  EXPECT_EQ(BucketOf(8), SizeBucket::k5To8Gpu);
+  EXPECT_EQ(BucketOf(9), SizeBucket::kGt8Gpu);
+  EXPECT_EQ(BucketOf(64), SizeBucket::kGt8Gpu);
+}
+
+TEST(JobTest, ToStringCoversAll) {
+  EXPECT_EQ(ToString(JobStatus::kPassed), "Passed");
+  EXPECT_EQ(ToString(JobStatus::kKilled), "Killed");
+  EXPECT_EQ(ToString(JobStatus::kUnsuccessful), "Unsuccessful");
+  EXPECT_EQ(ToString(SizeBucket::kGt8Gpu), ">8 GPU");
+  EXPECT_EQ(ToString(ModelFamily::kResNet), "resnet");
+}
+
+TEST(ModelZooTest, ProfilesConsistent) {
+  double mix = 0.0;
+  for (const auto& profile : AllProfiles()) {
+    EXPECT_GT(profile.base_util_mean, 0.0);
+    EXPECT_LT(profile.base_util_mean, 1.0);
+    EXPECT_GT(profile.comm_intensity, 0.0);
+    EXPECT_GT(profile.reference_batch, 0);
+    mix += profile.mix_weight;
+  }
+  EXPECT_NEAR(mix, 1.0, 1e-9);
+  // ResNet prior is pinned by the Table 4 calibration point.
+  EXPECT_NEAR(ProfileOf(ModelFamily::kResNet).base_util_mean, 0.577, 1e-9);
+}
+
+TEST(ModelZooTest, BatchScaleCalibration) {
+  // 57.7% at batch 32 -> 71.1% at batch 64 for ResNet-50 (§3.2.1).
+  EXPECT_NEAR(0.577 * BatchUtilizationScale(64, 32), 0.711, 0.01);
+  EXPECT_DOUBLE_EQ(BatchUtilizationScale(32, 32), 1.0);
+  // "increases only marginally for larger batches": saturating.
+  const double b128 = BatchUtilizationScale(128, 32);
+  const double b256 = BatchUtilizationScale(256, 32);
+  EXPECT_LT(b256 - b128, 0.05);
+  EXPECT_LT(b256, 1.32);
+  // Smaller batches lose utilization.
+  EXPECT_LT(BatchUtilizationScale(16, 32), 1.0);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const auto a = WorkloadGenerator(TestConfig(2, 7)).Generate();
+  const auto b = WorkloadGenerator(TestConfig(2, 7)).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].num_gpus, b[i].num_gpus);
+    EXPECT_EQ(a[i].planned_duration, b[i].planned_duration);
+    EXPECT_DOUBLE_EQ(a[i].base_utilization, b[i].base_utilization);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  const auto a = WorkloadGenerator(TestConfig(2, 7)).Generate();
+  const auto b = WorkloadGenerator(TestConfig(2, 8)).Generate();
+  int differing = 0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    differing += a[i].submit_time != b[i].submit_time ||
+                 a[i].num_gpus != b[i].num_gpus;
+  }
+  EXPECT_GT(differing, static_cast<int>(n / 2));
+}
+
+TEST(GeneratorTest, ArrivalCountMatchesRates) {
+  const auto config = TestConfig(6);
+  const auto jobs = WorkloadGenerator(config).Generate();
+  const double expected = config.TotalArrivalRate() * 24.0 * 6.0;
+  EXPECT_NEAR(static_cast<double>(jobs.size()), expected, expected * 0.06);
+}
+
+TEST(GeneratorTest, SortedBySubmitTimeWithinWindow) {
+  const auto config = TestConfig(3);
+  const auto jobs = WorkloadGenerator(config).Generate();
+  for (size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_LE(jobs[i - 1].submit_time, jobs[i].submit_time);
+  }
+  EXPECT_LT(jobs.back().submit_time, config.duration);
+}
+
+TEST(GeneratorTest, BucketMixRoughlyPaperShaped) {
+  const auto jobs = WorkloadGenerator(TestConfig(8)).Generate();
+  std::array<int, kNumSizeBuckets> counts = {};
+  for (const auto& job : jobs) {
+    ++counts[static_cast<size_t>(BucketOf(job.num_gpus))];
+  }
+  const double n = static_cast<double>(jobs.size());
+  // Majority 1-GPU; 5-8 GPU several times more common than >8 GPU.
+  EXPECT_GT(counts[0] / n, 0.40);
+  EXPECT_GT(counts[2], counts[3] * 3);
+  EXPECT_GT(counts[3], 0);
+}
+
+TEST(GeneratorTest, Vc3HasNoGt8Jobs) {
+  const auto jobs = WorkloadGenerator(TestConfig(8)).Generate();
+  for (const auto& job : jobs) {
+    if (job.vc == 3) {
+      EXPECT_LE(job.num_gpus, 8);
+    }
+  }
+}
+
+TEST(GeneratorTest, LargerJobsRunLonger) {
+  const auto jobs = WorkloadGenerator(TestConfig(10)).Generate();
+  std::array<std::vector<double>, kNumSizeBuckets> durations;
+  for (const auto& job : jobs) {
+    durations[static_cast<size_t>(BucketOf(job.num_gpus))].push_back(
+        static_cast<double>(job.planned_duration));
+  }
+  std::array<double, kNumSizeBuckets> medians = {};
+  for (int b = 0; b < kNumSizeBuckets; ++b) {
+    auto& v = durations[static_cast<size_t>(b)];
+    ASSERT_FALSE(v.empty());
+    std::nth_element(v.begin(), v.begin() + static_cast<long>(v.size() / 2), v.end());
+    medians[static_cast<size_t>(b)] = v[v.size() / 2];
+  }
+  EXPECT_LT(medians[0], medians[1]);
+  EXPECT_LT(medians[1], medians[2]);
+  EXPECT_LT(medians[2], medians[3]);
+}
+
+TEST(GeneratorTest, HeavyTailFractionOverOneWeek) {
+  const auto jobs = WorkloadGenerator(TestConfig(12)).Generate();
+  int over = 0;
+  for (const auto& job : jobs) {
+    if (job.planned_duration > Days(7)) {
+      ++over;
+    }
+  }
+  const double frac = static_cast<double>(over) / static_cast<double>(jobs.size());
+  // Paper: ~0.5% of jobs exceed one week.
+  EXPECT_GT(frac, 0.001);
+  EXPECT_LT(frac, 0.03);
+}
+
+TEST(GeneratorTest, KillPropensityRisesWithDuration) {
+  const auto jobs = WorkloadGenerator(TestConfig(12)).Generate();
+  int short_killed = 0;
+  int short_total = 0;
+  int long_killed = 0;
+  int long_total = 0;
+  for (const auto& job : jobs) {
+    const bool killed = job.intrinsic == IntrinsicOutcome::kKilledByUser;
+    if (job.planned_duration < Hours(1)) {
+      ++short_total;
+      short_killed += killed;
+    } else if (job.planned_duration > Days(1)) {
+      ++long_total;
+      long_killed += killed;
+    }
+  }
+  ASSERT_GT(short_total, 100);
+  ASSERT_GT(long_total, 100);
+  EXPECT_GT(static_cast<double>(long_killed) / long_total,
+            2.0 * static_cast<double>(short_killed) / short_total);
+}
+
+TEST(GeneratorTest, FieldRangesValid) {
+  const auto jobs = WorkloadGenerator(TestConfig(4)).Generate();
+  for (const auto& job : jobs) {
+    ASSERT_GT(job.num_gpus, 0);
+    ASSERT_LE(job.num_gpus, 64);
+    ASSERT_GE(job.base_utilization, 0.05);
+    ASSERT_LE(job.base_utilization, 1.0);
+    ASSERT_GE(job.planned_epochs, 2);
+    ASSERT_LE(job.planned_epochs, 1000);
+    ASSERT_GE(job.planned_duration, 30);
+    ASSERT_GT(job.kill_fraction, 0.0);
+    ASSERT_LE(job.kill_fraction, 1.0);
+    ASSERT_GE(job.user, 0);
+    ASSERT_GT(job.loss_curve.decay_rate, 0.0);
+  }
+}
+
+TEST(GeneratorTest, ConvergenceLoggingFractionApproximate) {
+  const auto jobs = WorkloadGenerator(TestConfig(12)).Generate();
+  int logging = 0;
+  for (const auto& job : jobs) {
+    logging += job.logs_convergence ? 1 : 0;
+  }
+  const double frac = static_cast<double>(logging) / static_cast<double>(jobs.size());
+  EXPECT_NEAR(frac, 0.026, 0.008);  // paper: 2502 / 96260
+}
+
+TEST(GeneratorTest, WarmCohortSumsToTarget) {
+  WorkloadConfig config = TestConfig(1, 5);
+  config.prepopulate_busy_gpus = 500;
+  const auto jobs = WorkloadGenerator(config).Generate();
+  int warm_gpus = 0;
+  for (const auto& job : jobs) {
+    if (job.submit_time == 0) {
+      warm_gpus += job.num_gpus;
+    }
+  }
+  EXPECT_GE(warm_gpus, 500);
+  EXPECT_LT(warm_gpus, 500 + 64);
+}
+
+TEST(LossCurveTest, DeterministicGivenSeed) {
+  LossCurveParams params;
+  const LossCurve a(params, 100, 42);
+  const LossCurve b(params, 100, 42);
+  for (int e = 1; e <= 100; ++e) {
+    EXPECT_DOUBLE_EQ(a.LossAt(e), b.LossAt(e));
+  }
+}
+
+TEST(LossCurveTest, TrendDecreases) {
+  LossCurveParams params;
+  params.noise_sigma = 0.0;
+  const LossCurve curve(params, 50, 1);
+  EXPECT_GT(curve.LossAt(1), curve.LossAt(10));
+  EXPECT_GT(curve.LossAt(10), curve.LossAt(50));
+  EXPECT_EQ(curve.BestEpoch(50), 50);
+}
+
+TEST(LossCurveTest, NoisyCurveBottomsOutEarlier) {
+  LossCurveParams params;
+  params.noise_sigma = 0.05;  // dwarfs the end drift
+  int earlier = 0;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    const LossCurve curve(params, 200, seed);
+    if (curve.BestEpoch(200) < 200) {
+      ++earlier;
+    }
+  }
+  EXPECT_GT(earlier, 40);
+}
+
+TEST(LossCurveTest, WithinThresholdBeforeBest) {
+  LossCurveParams params;
+  const LossCurve curve(params, 100, 9);
+  const int within = curve.FirstEpochWithin(0.001, 100);
+  const int best = curve.BestEpoch(100);
+  EXPECT_LE(within, best);
+  EXPECT_GE(within, 1);
+}
+
+TEST(LossCurveTest, ExecutedPrefixRespected) {
+  LossCurveParams params;
+  const LossCurve curve(params, 100, 11);
+  EXPECT_LE(curve.BestEpoch(30), 30);
+  EXPECT_LE(curve.FirstEpochWithin(0.001, 30), 30);
+}
+
+TEST(LossCurveTest, SeedHelperIsStable) {
+  EXPECT_EQ(LossCurveSeed(42), LossCurveSeed(42));
+  EXPECT_NE(LossCurveSeed(42), LossCurveSeed(43));
+}
+
+// Parameterized: the f_star construction in the generator should place the
+// within-0.1% epoch near f_star * planned_epochs for clean curves.
+class LossCurveTargetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossCurveTargetSweep, WithinEpochTracksTarget) {
+  const double f_star = GetParam();
+  const int epochs = 200;
+  LossCurveParams params;
+  params.floor = 1.0;
+  params.amplitude = 2.0;
+  params.decay_rate = std::log(params.amplitude / (0.001 * params.floor)) /
+                      (f_star * epochs);
+  params.end_drift = 0.0005;
+  params.noise_sigma = 0.0001;
+  const LossCurve curve(params, epochs, 3);
+  const double measured = curve.FirstEpochWithin(0.001, epochs) / 200.0;
+  EXPECT_NEAR(measured, f_star, 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, LossCurveTargetSweep,
+                         ::testing::Values(0.15, 0.25, 0.35, 0.5, 0.65));
+
+}  // namespace
+}  // namespace philly

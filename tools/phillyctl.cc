@@ -1,0 +1,360 @@
+// phillyctl — command-line front end for the phillysim library.
+//
+//   phillyctl simulate --days 10 --seed 42 --out DIR [options]
+//       Run a simulation and write the trace artifact(s).
+//   phillyctl analyze --trace DIR [--figures DIR]
+//       Re-analyze a previously written native trace and print every table.
+//   phillyctl report [--days N] [--seed S] [options]
+//       Run a simulation and print the full analysis without writing files.
+//
+//   Scheduler options (simulate/report):
+//     --scheduler philly|fifo|optimus|tiresias|gandiva   (default philly)
+//     --retry fixed|adaptive|predictive                  (default fixed)
+//     --prerun            enable the 1-GPU pre-run pool (§5)
+//     --migration         enable checkpoint-migration defragmentation (§5)
+//     --dedicated         place small jobs on dedicated servers (§5)
+//     --strict-locality   never relax locality constraints
+//   Output options (simulate):
+//     --format native|philly-traces|both                 (default native)
+//   Input options (analyze):
+//     --philly-traces     treat --trace as the public-release layout and
+//                         parse cluster_job_log (telemetry analyses skipped)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/core/analysis.h"
+#include "src/core/experiment.h"
+#include "src/core/report.h"
+#include "src/core/validate.h"
+#include "src/trace/philly_format.h"
+#include "src/trace/trace_io.h"
+
+namespace philly {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> values;
+  std::map<std::string, bool> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it != values.end() ? it->second : fallback;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    const auto it = values.find(key);
+    return it != values.end() ? std::atoi(it->second.c_str()) : fallback;
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2 && argv[1][0] != '-') {
+    args.command = argv[1];
+  }
+  static const char* kValueKeys[] = {"--days",   "--seed",   "--out",
+                                     "--trace",  "--figures", "--scheduler",
+                                     "--retry",  "--format"};
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool takes_value = false;
+    for (const char* key : kValueKeys) {
+      if (arg == key) {
+        takes_value = true;
+        break;
+      }
+    }
+    if (takes_value && i + 1 < argc) {
+      args.values[arg] = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      args.flags[arg] = true;
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: phillyctl <simulate|analyze|report> [options]\n"
+               "see the header of tools/phillyctl.cc or README.md for the "
+               "option list\n");
+  return 2;
+}
+
+bool ApplySchedulerOptions(const Args& args, SchedulerConfig* sched) {
+  const std::string name = args.Get("--scheduler", "philly");
+  if (name == "philly") {
+    *sched = SchedulerConfig::Philly();
+  } else if (name == "fifo") {
+    *sched = SchedulerConfig::Fifo();
+  } else if (name == "optimus") {
+    *sched = SchedulerConfig::Optimus();
+  } else if (name == "tiresias") {
+    *sched = SchedulerConfig::Tiresias();
+  } else if (name == "gandiva") {
+    *sched = SchedulerConfig::Gandiva();
+  } else {
+    std::fprintf(stderr, "unknown scheduler '%s'\n", name.c_str());
+    return false;
+  }
+  const std::string retry = args.Get("--retry", "fixed");
+  if (retry == "adaptive") {
+    sched->retry_policy = SchedulerConfig::RetryPolicyKind::kAdaptive;
+  } else if (retry == "predictive") {
+    sched->retry_policy = SchedulerConfig::RetryPolicyKind::kPredictive;
+  } else if (retry != "fixed") {
+    std::fprintf(stderr, "unknown retry policy '%s'\n", retry.c_str());
+    return false;
+  }
+  sched->enable_prerun_pool = args.Has("--prerun");
+  sched->enable_migration = args.Has("--migration");
+  if (args.Has("--dedicated")) {
+    sched->placer.pack_small_jobs = false;
+  }
+  if (args.Has("--strict-locality")) {
+    sched->max_relax_level = 0;
+  }
+  return true;
+}
+
+void PrintReport(const std::vector<JobRecord>& jobs, const SimulationResult* sim) {
+  const auto status = AnalyzeStatus(jobs);
+  std::printf("=== Table 6: job status vs GPU time ===\n");
+  TextTable status_table({"status", "count", "count share", "GPU-time share"});
+  for (int s = 0; s < 3; ++s) {
+    const auto& row = status.by_status[static_cast<size_t>(s)];
+    status_table.AddRow({std::string(ToString(static_cast<JobStatus>(s))),
+                         std::to_string(row.count), FormatPercent(row.count_share, 1),
+                         FormatPercent(row.gpu_time_share, 1)});
+  }
+  std::printf("%s\n", status_table.Render().c_str());
+
+  const auto runtimes = AnalyzeRunTimes(jobs);
+  std::printf("=== Figure 2: run times ===\n");
+  TextTable rt_table({"bucket", "n", "median (min)", "p90 (min)", "p99 (min)"});
+  for (int b = 0; b < kNumSizeBuckets; ++b) {
+    const auto& hist = runtimes.cdf_minutes[static_cast<size_t>(b)];
+    rt_table.AddRow({std::string(ToString(static_cast<SizeBucket>(b))),
+                     FormatDouble(hist.Count(), 0), FormatDouble(hist.Median(), 1),
+                     FormatDouble(hist.Quantile(0.9), 1),
+                     FormatDouble(hist.Quantile(0.99), 1)});
+  }
+  std::printf("%s  jobs over one week: %s\n\n", rt_table.Render().c_str(),
+              FormatPercent(runtimes.fraction_over_one_week, 2).c_str());
+
+  const auto delays = AnalyzeQueueDelays(jobs);
+  std::printf("=== Figure 3: queueing delay ===\n");
+  TextTable d_table({"bucket", "P(<=1min)", "P(<=10min)", "p90 (min)", "p99 (min)"});
+  for (int b = 0; b < kNumSizeBuckets; ++b) {
+    const auto& hist = delays.overall[static_cast<size_t>(b)];
+    d_table.AddRow({std::string(ToString(static_cast<SizeBucket>(b))),
+                    FormatPercent(hist.CdfAt(1.0), 1), FormatPercent(hist.CdfAt(10.0), 1),
+                    FormatDouble(hist.Quantile(0.9), 2),
+                    FormatDouble(hist.Quantile(0.99), 2)});
+  }
+  std::printf("%s\n", d_table.Render().c_str());
+
+  const auto causes = AnalyzeDelayCauses(jobs, sim);
+  std::printf("=== Table 2: delay causes ===\n");
+  TextTable c_table({"bucket", "fair-share", "fragmentation"});
+  for (int b = 1; b < kNumSizeBuckets; ++b) {
+    const auto& row = causes.by_bucket[static_cast<size_t>(b)];
+    c_table.AddRow({std::string(ToString(static_cast<SizeBucket>(b))),
+                    std::to_string(row.fair_share), std::to_string(row.fragmentation)});
+  }
+  std::printf("%swaiting time: %s fragmentation / %s fair-share\n",
+              c_table.Render().c_str(),
+              FormatPercent(causes.fragmentation_time_fraction, 1).c_str(),
+              FormatPercent(causes.fair_share_time_fraction, 1).c_str());
+  if (sim != nullptr) {
+    std::printf("out-of-order: %s of decisions, %s benign; preemptions %lld; "
+                "migrations %lld\n",
+                FormatPercent(causes.out_of_order_fraction, 1).c_str(),
+                FormatPercent(causes.out_of_order_benign_fraction, 1).c_str(),
+                static_cast<long long>(sim->preemptions),
+                static_cast<long long>(sim->migrations));
+  }
+  std::printf("\n");
+
+  const auto util = AnalyzeUtilization(jobs);
+  std::printf("=== Figure 5 / Table 3: GPU utilization ===\n");
+  TextTable u_table({"size", "mean util (%)", "p50", "p90"});
+  for (int i = 0; i < UtilizationResult::kNumRepresentative; ++i) {
+    const auto& hist = util.by_size[static_cast<size_t>(i)];
+    u_table.AddRow({std::to_string(kRepresentativeSizes[i]) + " GPU",
+                    FormatDouble(hist.Mean(), 1), FormatDouble(hist.Median(), 1),
+                    FormatDouble(hist.Quantile(0.9), 1)});
+  }
+  std::printf("%soverall mean: %.1f%%\n\n", u_table.Render().c_str(),
+              util.all.Mean());
+
+  const auto failures = AnalyzeFailures(jobs);
+  std::printf("=== Table 7: failures (top 10 by trials) ===\n");
+  std::vector<const FailureAnalysisResult::ReasonRow*> rows;
+  for (const auto& row : failures.rows) {
+    if (row.trials > 0) {
+      rows.push_back(&row);
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto* a, const auto* b) { return a->trials > b->trials; });
+  TextTable f_table({"reason", "trials", "jobs", "users", "RTF p50 (min)", "RTF share"});
+  for (size_t i = 0; i < rows.size() && i < 10; ++i) {
+    f_table.AddRow({std::string(ToString(rows[i]->reason)),
+                    std::to_string(rows[i]->trials), std::to_string(rows[i]->jobs),
+                    std::to_string(rows[i]->users),
+                    FormatDouble(rows[i]->rtf_p50_min, 2),
+                    FormatPercent(rows[i]->rtf_total_share, 1)});
+  }
+  std::printf("%stotal trials %lld; unsuccessful rate %s; mean retries %.3f\n",
+              f_table.Render().c_str(), static_cast<long long>(failures.total_trials),
+              FormatPercent(failures.unsuccessful_rate_all, 1).c_str(),
+              failures.mean_retries_all);
+}
+
+void ExportFigures(const std::vector<JobRecord>& jobs, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const auto runtimes = AnalyzeRunTimes(jobs);
+  const auto delays = AnalyzeQueueDelays(jobs);
+  for (int b = 0; b < kNumSizeBuckets; ++b) {
+    WriteCdfCsv(runtimes.cdf_minutes[static_cast<size_t>(b)],
+                dir + "/fig2_runtime_bucket" + std::to_string(b) + ".csv");
+    WriteCdfCsv(delays.overall[static_cast<size_t>(b)],
+                dir + "/fig3_delay_bucket" + std::to_string(b) + ".csv");
+  }
+  const auto util = AnalyzeUtilization(jobs);
+  for (int i = 0; i < UtilizationResult::kNumRepresentative; ++i) {
+    WriteCdfCsv(util.by_size[static_cast<size_t>(i)],
+                dir + "/fig5_util_" + std::to_string(kRepresentativeSizes[i]) +
+                    "gpu.csv");
+  }
+  const auto host = AnalyzeHostResources(jobs);
+  WriteCdfCsv(host.cpu_util, dir + "/fig7_cpu.csv");
+  WriteCdfCsv(host.memory_util, dir + "/fig7_memory.csv");
+  std::printf("figure series written to %s/\n", dir.c_str());
+}
+
+int RunSimulateOrReport(const Args& args, bool write_output) {
+  ExperimentConfig config =
+      ExperimentConfig::BenchScale(args.GetInt("--days", 10),
+                                   static_cast<uint64_t>(args.GetInt("--seed", 42)));
+  if (!ApplySchedulerOptions(args, &config.simulation.scheduler)) {
+    return 2;
+  }
+  std::printf("simulating %d days (seed %d, scheduler %s)...\n",
+              args.GetInt("--days", 10), args.GetInt("--seed", 42),
+              config.simulation.scheduler.name.c_str());
+  const ExperimentRun run = RunExperiment(config);
+  std::printf("%lld jobs completed\n\n", static_cast<long long>(run.num_jobs));
+
+  if (write_output) {
+    const std::string out = args.Get("--out", "out/trace");
+    std::filesystem::create_directories(out);
+    const std::string format = args.Get("--format", "native");
+    if (format == "native" || format == "both") {
+      if (!TraceWriter::WriteDirectory(run.result.jobs, out)) {
+        std::fprintf(stderr, "cannot write native trace to %s\n", out.c_str());
+        return 1;
+      }
+      std::printf("native trace written to %s/\n", out.c_str());
+    }
+    if (format == "philly-traces" || format == "both") {
+      PhillyTracesExporter exporter(config.simulation.cluster);
+      if (!exporter.WriteDirectory(run.result.jobs, out)) {
+        std::fprintf(stderr, "cannot write philly-traces files to %s\n", out.c_str());
+        return 1;
+      }
+      std::printf("philly-traces-format files written to %s/\n", out.c_str());
+    }
+  }
+  PrintReport(run.result.jobs, &run.result);
+  if (args.values.count("--figures") > 0) {
+    ExportFigures(run.result.jobs, args.Get("--figures", "out/figures"));
+  }
+  return 0;
+}
+
+int RunAnalyze(const Args& args) {
+  const std::string dir = args.Get("--trace", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "analyze requires --trace DIR\n");
+    return 2;
+  }
+  if (args.Has("--philly-traces")) {
+    // Public-release layout: parse cluster_job_log. Telemetry-dependent
+    // analyses are skipped (the job log carries no utilization).
+    std::ifstream job_log(dir + "/cluster_job_log");
+    if (!job_log) {
+      std::fprintf(stderr, "cannot open %s/cluster_job_log\n", dir.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << job_log.rdbuf();
+    PhillyTracesImporter importer;
+    std::string error;
+    const auto jobs = importer.ImportJobLog(buffer.str(), &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "failed to parse cluster_job_log: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("imported %zu jobs (%d VCs, %d users, %d machines) from %s\n\n",
+                jobs.size(), importer.num_vcs(), importer.num_users(),
+                importer.num_machines(), dir.c_str());
+    PrintReport(jobs, nullptr);
+    if (args.values.count("--figures") > 0) {
+      ExportFigures(jobs, args.Get("--figures", "out/figures"));
+    }
+    return 0;
+  }
+  std::ifstream jobs_csv(dir + "/jobs.csv");
+  std::ifstream attempts_csv(dir + "/attempts.csv");
+  std::ifstream util_csv(dir + "/gpu_util.csv");
+  std::ifstream stdout_log(dir + "/stdout.log");
+  if (!jobs_csv || !attempts_csv || !util_csv || !stdout_log) {
+    std::fprintf(stderr, "cannot open native trace files under %s\n", dir.c_str());
+    return 1;
+  }
+  const auto jobs =
+      TraceReader::ReadJobs(jobs_csv, attempts_csv, util_csv, stdout_log);
+  const ValidationReport validation = ValidateJobs(jobs);
+  if (!validation.ok()) {
+    std::fprintf(stderr, "trace failed validation: %s\n",
+                 validation.Summary().c_str());
+    return 1;
+  }
+  std::printf("loaded and validated %zu jobs from %s\n\n", jobs.size(),
+              dir.c_str());
+  PrintReport(jobs, nullptr);
+  if (args.values.count("--figures") > 0) {
+    ExportFigures(jobs, args.Get("--figures", "out/figures"));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace philly
+
+int main(int argc, char** argv) {
+  const philly::Args args = philly::Parse(argc, argv);
+  if (args.command == "simulate") {
+    return philly::RunSimulateOrReport(args, /*write_output=*/true);
+  }
+  if (args.command == "report") {
+    return philly::RunSimulateOrReport(args, /*write_output=*/false);
+  }
+  if (args.command == "analyze") {
+    return philly::RunAnalyze(args);
+  }
+  return philly::Usage();
+}
