@@ -11,6 +11,7 @@
 
 #include "src/common/strings.h"
 #include "src/common/table.h"
+#include "src/core/runner.h"
 #include "src/failure/retry_policy.h"
 #include "src/sched/scheduler_config.h"
 
@@ -49,6 +50,24 @@ int main() {
 
   ShapeChecker checker;
 
+  // Every ablation variant is an independent simulation of the same workload;
+  // run the whole set through the experiment pool at once. Index 0 (the
+  // unmodified default) doubles as the fixed-retry baseline for items 3-5.
+  const char* kVariants[] = {"philly (relax quickly)", "wait 6h for locality",
+                             "dedicated small-job servers",
+                             "dedicated + migration defrag"};
+  std::vector<ExperimentConfig> configs(7, BenchConfig());
+  configs[1].simulation.scheduler.min_wait_before_relax = Hours(6);
+  configs[2].simulation.scheduler.placer.pack_small_jobs = false;
+  configs[3].simulation.scheduler.placer.pack_small_jobs = false;
+  configs[3].simulation.scheduler.enable_migration = true;
+  configs[4].simulation.scheduler.adaptive_retry = true;
+  configs[5].simulation.scheduler.enable_prerun_pool = true;
+  configs[6].simulation.scheduler.retry_policy =
+      SchedulerConfig::RetryPolicyKind::kPredictive;
+  const ExperimentPool pool;
+  const std::vector<ExperimentRun> runs = pool.RunMany(std::move(configs));
+
   // 1 + 2: locality wait and dedicated placement.
   std::printf("[1] locality-wait sweep / [2] dedicated small-job servers\n\n");
   TextTable table({"variant", "mean queue (min)", "mean util (%)"});
@@ -61,27 +80,16 @@ int main() {
   double dedicated_queue = 0.0;
   double migration_util = 0.0;
   long long migrations = 0;
-  for (const char* variant :
-       {"philly (relax quickly)", "wait 6h for locality",
-        "dedicated small-job servers", "dedicated + migration defrag"}) {
-    ExperimentConfig config = BenchConfig();
-    const std::string name = variant;
-    if (name == "wait 6h for locality") {
-      config.simulation.scheduler.min_wait_before_relax = Hours(6);
-    } else if (name == "dedicated small-job servers") {
-      config.simulation.scheduler.placer.pack_small_jobs = false;
-    } else if (name == "dedicated + migration defrag") {
-      config.simulation.scheduler.placer.pack_small_jobs = false;
-      config.simulation.scheduler.enable_migration = true;
-    }
-    const ExperimentRun run = RunExperiment(config);
+  for (size_t i = 0; i < 4; ++i) {
+    const ExperimentRun& run = runs[i];
+    const std::string name = kVariants[i];
     const double queue = MeanQueueMinutes(run.result);
     const auto util_result = AnalyzeUtilization(run.result.jobs);
     const double util = util_result.all.Mean();
     // The population locality actually moves: 16-GPU jobs (they spread when
     // relaxed, stay dedicated when the scheduler holds out).
     const double util16 = util_result.MeanForSize(3);
-    table.AddRow({variant, FormatDouble(queue, 2), FormatDouble(util, 2)});
+    table.AddRow({name, FormatDouble(queue, 2), FormatDouble(util, 2)});
     if (name == "philly (relax quickly)") {
       relax_now_util = util16;
       relax_now_queue = queue;
@@ -121,11 +129,8 @@ int main() {
 
   // 3: adaptive retry.
   std::printf("[3] adaptive retry policy\n\n");
-  ExperimentConfig fixed_config = BenchConfig();
-  const ExperimentRun fixed_run = RunExperiment(fixed_config);
-  ExperimentConfig adaptive_config = BenchConfig();
-  adaptive_config.simulation.scheduler.adaptive_retry = true;
-  const ExperimentRun adaptive_run = RunExperiment(adaptive_config);
+  const ExperimentRun& fixed_run = runs[0];
+  const ExperimentRun& adaptive_run = runs[4];
   const double fixed_waste = FailedAttemptGpuHours(fixed_run.result);
   const double adaptive_waste = FailedAttemptGpuHours(adaptive_run.result);
   std::printf("GPU-hours in failing attempts: fixed %.0f -> adaptive %.0f "
@@ -139,9 +144,7 @@ int main() {
   // on one pool GPU first; failures whose first iterations crash are caught
   // there instead of at gang scale.
   std::printf("[4] single-GPU pre-run pool for multi-GPU jobs\n\n");
-  ExperimentConfig prerun_config = BenchConfig();
-  prerun_config.simulation.scheduler.enable_prerun_pool = true;
-  const ExperimentRun prerun_run = RunExperiment(prerun_config);
+  const ExperimentRun& prerun_run = runs[5];
   const auto multi_gpu_gang_failures = [](const SimulationResult& result) {
     double gpu_seconds = 0.0;
     for (const auto& job : result.jobs) {
@@ -181,10 +184,7 @@ int main() {
   // 5: predictive mitigation — online (user, reason) correlation stops
   // retrying error patterns that repeat across a user's jobs.
   std::printf("[5] predictive failure mitigation (cross-job correlation)\n\n");
-  ExperimentConfig predictive_config = BenchConfig();
-  predictive_config.simulation.scheduler.retry_policy =
-      SchedulerConfig::RetryPolicyKind::kPredictive;
-  const ExperimentRun predictive_run = RunExperiment(predictive_config);
+  const ExperimentRun& predictive_run = runs[6];
   const double predictive_waste = FailedAttemptGpuHours(predictive_run.result);
   std::printf("GPU-hours in failing attempts: fixed %.0f -> predictive %.0f "
               "(%.1f%% saved without any per-reason policy table)\n",

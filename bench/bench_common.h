@@ -6,31 +6,32 @@
 // always exit 0 so `for b in build/bench/*; do $b; done` runs the full suite;
 // failed shape checks are printed prominently and recorded in EXPERIMENTS.md.
 //
-// Environment knobs:
-//   PHILLY_BENCH_DAYS  arrival-window length in days (default 30)
-//   PHILLY_BENCH_SEED  experiment seed (default 42)
+// Environment knobs (validated by src/core/runner.h helpers — malformed or
+// non-positive values abort with a clear message instead of silently running
+// an empty workload):
+//   PHILLY_BENCH_DAYS     arrival-window length in days (default 30)
+//   PHILLY_BENCH_SEED     experiment seed (default 42)
+//   PHILLY_BENCH_THREADS  worker threads for sweep benches (default: all cores)
 
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "src/core/analysis.h"
 #include "src/core/experiment.h"
 #include "src/core/report.h"
+#include "src/core/runner.h"
 
 namespace philly {
 
 inline int BenchDays() {
-  const char* env = std::getenv("PHILLY_BENCH_DAYS");
-  return env != nullptr ? std::atoi(env) : 30;
+  return PositiveIntFromEnv("PHILLY_BENCH_DAYS", 30);
 }
 
 inline uint64_t BenchSeed() {
-  const char* env = std::getenv("PHILLY_BENCH_SEED");
-  return env != nullptr ? std::strtoull(env, nullptr, 10) : 42;
+  return U64FromEnv("PHILLY_BENCH_SEED", 42);
 }
 
 inline ExperimentConfig BenchConfig() {

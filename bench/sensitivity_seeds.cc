@@ -11,6 +11,7 @@
 
 #include "src/common/strings.h"
 #include "src/common/table.h"
+#include "src/core/runner.h"
 
 namespace {
 
@@ -26,9 +27,7 @@ struct Headline {
   double week_tail = 0.0;
 };
 
-Headline Measure(uint64_t seed) {
-  ExperimentConfig config = ExperimentConfig::BenchScale(BenchDays(), seed);
-  const ExperimentRun run = RunExperiment(config);
+Headline Measure(const ExperimentRun& run) {
   Headline h;
   const auto status = AnalyzeStatus(run.result.jobs);
   h.passed_share = status.by_status[0].count_share;
@@ -66,7 +65,14 @@ int main() {
               "about one random realization; metric spreads must stay within "
               "the shape-check bands");
 
-  const uint64_t seeds[] = {42, 7, 1234, 2026, 99};
+  // All seeds run in parallel through the experiment pool (results come back
+  // in seed order, byte-identical to running each seed serially; worker count
+  // from PHILLY_BENCH_THREADS or hardware concurrency).
+  const std::vector<uint64_t> seeds = {42, 7, 1234, 2026, 99, 31337, 271828, 777};
+  const ExperimentPool pool;
+  const std::vector<ExperimentRun> runs =
+      pool.RunSeeds(ExperimentConfig::BenchScale(BenchDays()), seeds);
+
   Spread passed;
   Spread killed_gpu;
   Spread unsuccessful;
@@ -76,8 +82,9 @@ int main() {
   Spread week;
   TextTable table({"seed", "passed %", "killed GPU %", "unsucc %", "mean util",
                    "16-GPU util", "frag time %", ">1wk %"});
-  for (uint64_t seed : seeds) {
-    const Headline h = Measure(seed);
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const uint64_t seed = seeds[i];
+    const Headline h = Measure(runs[i]);
     passed.Add(h.passed_share);
     killed_gpu.Add(h.killed_gpu_share);
     unsuccessful.Add(h.unsuccessful_rate);

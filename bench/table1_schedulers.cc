@@ -7,6 +7,7 @@
 
 #include "src/common/strings.h"
 #include "src/common/table.h"
+#include "src/core/runner.h"
 
 namespace {
 
@@ -64,16 +65,24 @@ int main() {
       SchedulerConfig::Philly(), SchedulerConfig::Fifo(), SchedulerConfig::Optimus(),
       SchedulerConfig::Tiresias(), SchedulerConfig::Gandiva()};
 
+  // One identical workload per scheduler, all simulated in parallel.
+  std::vector<ExperimentConfig> configs;
+  for (const auto& sched : schedulers) {
+    ExperimentConfig config = BenchConfig();
+    config.simulation.scheduler = sched;
+    configs.push_back(std::move(config));
+  }
+  const ExperimentPool pool;
+  const std::vector<ExperimentRun> runs = pool.RunMany(std::move(configs));
+
   TextTable table({"scheduler", "mean queue (min)", "p90 queue (min)",
                    "mean JCT (h)", "short-job JCT (h)", "preempt", "ckpt-suspend"});
   Metrics philly_m;
   Metrics optimus_m;
   Metrics tiresias_m;
-  for (const auto& sched : schedulers) {
-    ExperimentConfig config = BenchConfig();
-    config.simulation.scheduler = sched;
-    const ExperimentRun run = RunExperiment(config);
-    const Metrics m = Evaluate(run.result);
+  for (size_t i = 0; i < schedulers.size(); ++i) {
+    const auto& sched = schedulers[i];
+    const Metrics m = Evaluate(runs[i].result);
     if (sched.name == "philly") {
       philly_m = m;
     } else if (sched.name == "optimus-srtf") {

@@ -6,9 +6,12 @@
 //   ./build/examples/colocation_sweep
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "src/common/strings.h"
 #include "src/common/table.h"
+#include "src/core/runner.h"
 #include "src/telemetry/controlled.h"
 #include "src/workload/model_zoo.h"
 
@@ -31,36 +34,55 @@ int main() {
 
   std::printf("2-GPU ResNet-50 split across two 8-GPU servers; adding 2-GPU\n"
               "single-server co-tenants alternately to each server:\n\n");
-  TextTable table({"co-tenant jobs", "free GPUs", "study util (%)", "images/s",
-                   "vs alone"});
-  double baseline = 0.0;
-  for (int cotenants = 0; cotenants <= 6; ++cotenants) {
+
+  // Each co-tenant count builds its own ControlledExperiment, so the sweep
+  // points are independent and run concurrently through the experiment pool;
+  // rows are collected by index and printed in order.
+  struct Row {
+    bool ok = false;
+    std::string error;
+    int free_gpus = 0;
+    double util = 0.0;
+    double images_per_second = 0.0;
+  };
+  constexpr int kMaxCotenants = 6;
+  std::vector<Row> rows(kMaxCotenants + 1);
+  const ExperimentPool pool;
+  pool.ParallelFor(kMaxCotenants + 1, [&](int cotenants) {
+    Row& row = rows[cotenants];
     ControlledExperiment experiment(testbed);
     Placement study;
     study.shards = {{0, 1}, {1, 1}};
     if (!experiment.Place(resnet(1, 2), study, /*study=*/true)) {
-      std::fprintf(stderr, "study placement failed\n");
-      return 1;
+      row.error = "study placement failed";
+      return;
     }
-    bool ok = true;
     for (int i = 0; i < cotenants; ++i) {
       Placement bg;
       bg.shards = {{static_cast<ServerId>(i % 2), 2}};
-      ok = ok && experiment.Place(resnet(100 + i, 2), bg);
+      if (!experiment.Place(resnet(100 + i, 2), bg)) {
+        row.error = "co-tenant placement failed at " + std::to_string(cotenants);
+        return;
+      }
     }
-    if (!ok) {
-      std::fprintf(stderr, "co-tenant placement failed at %d\n", cotenants);
+    row.free_gpus = experiment.cluster().NumFreeGpus();
+    row.util = experiment.StudyUtilization() * 100.0;
+    row.images_per_second = experiment.StudyImagesPerSecond();
+    row.ok = true;
+  });
+
+  TextTable table({"co-tenant jobs", "free GPUs", "study util (%)", "images/s",
+                   "vs alone"});
+  const double baseline = rows[0].ok ? rows[0].util : 0.0;
+  for (int cotenants = 0; cotenants <= kMaxCotenants; ++cotenants) {
+    const Row& row = rows[cotenants];
+    if (!row.ok) {
+      std::fprintf(stderr, "%s\n", row.error.c_str());
       return 1;
     }
-    const double util = experiment.StudyUtilization() * 100.0;
-    if (cotenants == 0) {
-      baseline = util;
-    }
-    table.AddRow({std::to_string(cotenants),
-                  std::to_string(experiment.cluster().NumFreeGpus()),
-                  FormatDouble(util, 1),
-                  FormatDouble(experiment.StudyImagesPerSecond(), 1),
-                  FormatPercent(util / baseline, 1)});
+    table.AddRow({std::to_string(cotenants), std::to_string(row.free_gpus),
+                  FormatDouble(row.util, 1), FormatDouble(row.images_per_second, 1),
+                  FormatPercent(row.util / baseline, 1)});
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf("Each 2-GPU co-tenant costs the study job ~6 utilization points —\n"

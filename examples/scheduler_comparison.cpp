@@ -13,6 +13,7 @@
 #include "src/common/table.h"
 #include "src/core/analysis.h"
 #include "src/core/experiment.h"
+#include "src/core/runner.h"
 
 namespace {
 
@@ -57,22 +58,32 @@ int main(int argc, char** argv) {
       SchedulerConfig::Philly(), SchedulerConfig::Fifo(), SchedulerConfig::Optimus(),
       SchedulerConfig::Tiresias(), SchedulerConfig::Gandiva()};
 
+  // All five simulations are independent, so they fan out across the
+  // experiment pool (PHILLY_BENCH_THREADS overrides the worker count);
+  // results come back in scheduler order either way.
+  const ExperimentPool pool;
   std::printf("comparing %zu schedulers on an identical %d-day workload "
-              "(seed %llu)...\n\n",
-              schedulers.size(), days, static_cast<unsigned long long>(seed));
+              "(seed %llu, %d worker threads)...\n\n",
+              schedulers.size(), days, static_cast<unsigned long long>(seed),
+              pool.num_threads());
 
-  TextTable table({"scheduler", "mean queue (min)", "p90 queue (min)",
-                   "mean JCT passed (h)", "mean GPU util (%)", "preemptions"});
+  std::vector<ExperimentConfig> configs;
   for (const auto& sched : schedulers) {
     ExperimentConfig config = ExperimentConfig::BenchScale(days, seed);
     config.simulation.scheduler = sched;
-    const ExperimentRun run = RunExperiment(config);
-    const Metrics m = Evaluate(run.result);
-    table.AddRow({sched.name, FormatDouble(m.mean_queue_min, 2),
+    configs.push_back(std::move(config));
+  }
+  const std::vector<ExperimentRun> runs = pool.RunMany(std::move(configs));
+
+  TextTable table({"scheduler", "mean queue (min)", "p90 queue (min)",
+                   "mean JCT passed (h)", "mean GPU util (%)", "preemptions"});
+  for (size_t i = 0; i < schedulers.size(); ++i) {
+    const Metrics m = Evaluate(runs[i].result);
+    table.AddRow({schedulers[i].name, FormatDouble(m.mean_queue_min, 2),
                   FormatDouble(m.p90_queue_min, 2), FormatDouble(m.mean_jct_hours, 2),
                   FormatDouble(m.mean_util, 1), std::to_string(m.preemptions)});
-    std::printf("  %s done (%lld jobs)\n", sched.name.c_str(),
-                static_cast<long long>(run.num_jobs));
+    std::printf("  %s done (%lld jobs)\n", schedulers[i].name.c_str(),
+                static_cast<long long>(runs[i].num_jobs));
   }
   std::printf("\n%s\n", table.Render().c_str());
   std::printf("Reading the table: SRTF/LAS orderings favour short jobs (lower "

@@ -130,6 +130,10 @@ struct SimulationResult {
     double occupancy = 0.0;
     double empty_server_fraction = 0.0;
     int racks_with_empty_servers = 0;
+    // Sum of recorded executed_epochs across all jobs at snapshot time
+    // (epochs are recorded when an attempt ends or is suspended; epochs of
+    // the in-flight portion of a running attempt are not yet included).
+    int64_t executed_epochs_total = 0;
   };
   std::vector<OccupancySnapshot> occupancy_snapshots;
 

@@ -88,6 +88,8 @@ struct SchedulerConfig {
   // the paper's prerequisite for dedicated-server placement to pay off.
   bool enable_migration = false;
   SimDuration migration_period = Minutes(30);
+  // Hard cap on jobs migrated per defragmentation pass (per job, not per
+  // server: a server is evacuated only as far as the remaining budget).
   int max_migrations_per_pass = 8;
 
   // Gandiva-style time-slicing: suspend a running job after `quantum` when

@@ -280,11 +280,16 @@ void ClusterSimulation::SchedulingPass() {
 
   // Per-pass feasibility cache: if a placement search for demand d failed at
   // relax level L, any demand >= d fails at L too (placements are monotone in
-  // demand at a fixed level), until an allocation-freeing action (preemption)
-  // invalidates the pass state.
+  // demand at a fixed level), until an allocation-freeing action invalidates
+  // the pass state. Every freeing action counts — fair-share preemption,
+  // priority (checkpoint) suspension, and migration all release GPUs mid-pass
+  // and stale entries would wrongly skip jobs those GPUs could now serve.
   std::array<int, kMaxRelaxLevel + 1> failed_demand_at_level;
   failed_demand_at_level.fill(INT32_MAX);
-  const int64_t preemptions_at_pass_start = result_.preemptions;
+  const auto freeing_actions = [this] {
+    return result_.preemptions + result_.priority_preemptions + result_.migrations;
+  };
+  int64_t freeing_actions_seen = freeing_actions();
 
   bool any_waiting = false;
   for (size_t vi : vc_order) {
@@ -309,8 +314,11 @@ void ClusterSimulation::SchedulingPass() {
       }
       JobState& job = StateOf(id);
       const int level = RelaxLevelFor(job);
-      if (result_.preemptions == preemptions_at_pass_start &&
-          job.spec.num_gpus >= failed_demand_at_level[static_cast<size_t>(level)]) {
+      if (freeing_actions() != freeing_actions_seen) {
+        failed_demand_at_level.fill(INT32_MAX);
+        freeing_actions_seen = freeing_actions();
+      }
+      if (job.spec.num_gpus >= failed_demand_at_level[static_cast<size_t>(level)]) {
         // A smaller-or-equal request already failed at this level this pass.
         AttributeWaitTime(job, VcOf(job).used_gpus >= VcOf(job).config.quota_gpus
                                    ? DelayCause::kFairShare
@@ -336,6 +344,13 @@ void ClusterSimulation::SchedulingPass() {
       any_waiting = true;
       earlier_waiting = true;
       earlier_min_demand = std::min(earlier_min_demand, job.spec.num_gpus);
+      // The evaluation itself may have freed GPUs (suspension that still
+      // left too little room): drop entries that predate the freeing so the
+      // fresh failure below is recorded against the current cluster state.
+      if (freeing_actions() != freeing_actions_seen) {
+        failed_demand_at_level.fill(INT32_MAX);
+        freeing_actions_seen = freeing_actions();
+      }
       failed_demand_at_level[static_cast<size_t>(level)] = std::min(
           failed_demand_at_level[static_cast<size_t>(level)], job.spec.num_gpus);
       blocked.push_back(id);
@@ -719,6 +734,12 @@ void ClusterSimulation::SuspendAttempt(JobState& job) {
   attempt.end = sim_.Now();
   job.record.gpu_seconds += attempt.GpuTime();
   job.clean_executed += attempt.Duration();
+  // Keep the recorded epoch count current while the job sits requeued:
+  // time-sliced and migrated jobs otherwise undercount epochs until their
+  // next clean attempt completes (OnAttemptEnd and PreemptJob both do this).
+  const SimDuration epoch = std::max<SimDuration>(1, job.spec.EpochDuration());
+  job.record.executed_epochs = static_cast<int>(
+      std::min<int64_t>(job.spec.planned_epochs, job.clean_executed / epoch));
   cluster_.Release(job.spec.id);
   VcOf(job).used_gpus -= job.spec.num_gpus;
   RefreshCotenantSegments(attempt.placement, job.spec.id);
@@ -765,12 +786,18 @@ void ClusterSimulation::MigrationPass() {
     if (migrated >= config_.scheduler.max_migrations_per_pass) {
       break;
     }
-    // Evacuate the whole server first so packing re-placement cannot choose
-    // it (an empty server is the packer's last resort), then re-place each
-    // evacuee best-fit; anything unplaceable right now just stays queued.
+    // Evacuate the server (ideally fully, so packing re-placement cannot
+    // choose it — an empty server is the packer's last resort), then re-place
+    // each evacuee best-fit; anything unplaceable right now stays queued.
+    // `max_migrations_per_pass` is a per-job cap, enforced per evacuee: a
+    // server with more tenants than the remaining budget is evacuated only
+    // partially, never overshooting the cap.
     const auto tenants = cluster_.TenantsOnServer(candidate.server);
     std::vector<JobId> evacuated;
     for (const auto& tenant : tenants) {
+      if (migrated >= config_.scheduler.max_migrations_per_pass) {
+        break;
+      }
       JobState& job = StateOf(tenant.job);
       if (job.phase != Phase::kRunning) {
         continue;
@@ -859,6 +886,9 @@ void ClusterSimulation::TakeSnapshot() {
   snap.occupancy = cluster_.Occupancy();
   snap.empty_server_fraction = cluster_.EmptyServerFraction();
   snap.racks_with_empty_servers = cluster_.RacksWithEmptyServers();
+  for (const auto& job : jobs_) {
+    snap.executed_epochs_total += job.record.executed_epochs;
+  }
   result_.occupancy_snapshots.push_back(snap);
   if (jobs_done_ < static_cast<int>(jobs_.size())) {
     sim_.ScheduleAfter(config_.snapshot_period, [this] { TakeSnapshot(); });

@@ -6,8 +6,14 @@
 //       Re-analyze a previously written native trace and print every table.
 //   phillyctl report [--days N] [--seed S] [options]
 //       Run a simulation and print the full analysis without writing files.
+//   phillyctl sweep [--days N] [--seeds S1,S2,...] [--schedulers a,b,...]
+//                   [--threads N] [options]
+//       Run the seeds x schedulers cross product through the parallel
+//       experiment pool and print one summary row per run. --threads
+//       overrides the pool size (default: PHILLY_BENCH_THREADS or hardware
+//       concurrency); results are identical for any thread count.
 //
-//   Scheduler options (simulate/report):
+//   Scheduler options (simulate/report; sweep takes all but --scheduler):
 //     --scheduler philly|fifo|optimus|tiresias|gandiva   (default philly)
 //     --retry fixed|adaptive|predictive                  (default fixed)
 //     --prerun            enable the 1-GPU pre-run pool (§5)
@@ -20,6 +26,7 @@
 //     --philly-traces     treat --trace as the public-release layout and
 //                         parse cluster_job_log (telemetry analyses skipped)
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +41,7 @@
 #include "src/common/table.h"
 #include "src/core/analysis.h"
 #include "src/core/experiment.h"
+#include "src/core/runner.h"
 #include "src/core/report.h"
 #include "src/core/validate.h"
 #include "src/trace/philly_format.h"
@@ -63,9 +71,10 @@ Args Parse(int argc, char** argv) {
   if (argc >= 2 && argv[1][0] != '-') {
     args.command = argv[1];
   }
-  static const char* kValueKeys[] = {"--days",   "--seed",   "--out",
-                                     "--trace",  "--figures", "--scheduler",
-                                     "--retry",  "--format"};
+  static const char* kValueKeys[] = {"--days",    "--seed",       "--out",
+                                     "--trace",   "--figures",    "--scheduler",
+                                     "--retry",   "--format",     "--seeds",
+                                     "--schedulers", "--threads"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     bool takes_value = false;
@@ -86,14 +95,13 @@ Args Parse(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: phillyctl <simulate|analyze|report> [options]\n"
+               "usage: phillyctl <simulate|analyze|report|sweep> [options]\n"
                "see the header of tools/phillyctl.cc or README.md for the "
                "option list\n");
   return 2;
 }
 
-bool ApplySchedulerOptions(const Args& args, SchedulerConfig* sched) {
-  const std::string name = args.Get("--scheduler", "philly");
+bool SchedulerByName(const std::string& name, SchedulerConfig* sched) {
   if (name == "philly") {
     *sched = SchedulerConfig::Philly();
   } else if (name == "fifo") {
@@ -108,6 +116,12 @@ bool ApplySchedulerOptions(const Args& args, SchedulerConfig* sched) {
     std::fprintf(stderr, "unknown scheduler '%s'\n", name.c_str());
     return false;
   }
+  return true;
+}
+
+// Applies the options shared by every subcommand (retry policy and the §5
+// mechanism flags) on top of an already-selected scheduler preset.
+bool ApplyCommonSchedulerOptions(const Args& args, SchedulerConfig* sched) {
   const std::string retry = args.Get("--retry", "fixed");
   if (retry == "adaptive") {
     sched->retry_policy = SchedulerConfig::RetryPolicyKind::kAdaptive;
@@ -126,6 +140,11 @@ bool ApplySchedulerOptions(const Args& args, SchedulerConfig* sched) {
     sched->max_relax_level = 0;
   }
   return true;
+}
+
+bool ApplySchedulerOptions(const Args& args, SchedulerConfig* sched) {
+  return SchedulerByName(args.Get("--scheduler", "philly"), sched) &&
+         ApplyCommonSchedulerOptions(args, sched);
 }
 
 void PrintReport(const std::vector<JobRecord>& jobs, const SimulationResult* sim) {
@@ -342,6 +361,88 @@ int RunAnalyze(const Args& args) {
   return 0;
 }
 
+std::vector<std::string> SplitCsv(const std::string& list) {
+  std::vector<std::string> out;
+  std::string item;
+  std::stringstream stream(list);
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+// Runs the seeds x schedulers cross product through the experiment pool and
+// prints one summary row per run. Rows come out in (scheduler, seed) order no
+// matter how many worker threads execute the simulations.
+int RunSweep(const Args& args) {
+  std::vector<uint64_t> seeds;
+  for (const std::string& token : SplitCsv(args.Get("--seeds", "42"))) {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (errno != 0 || end == token.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--seeds entry '%s' is not a valid seed\n",
+                   token.c_str());
+      return 2;
+    }
+    seeds.push_back(static_cast<uint64_t>(value));
+  }
+  const std::vector<std::string> scheduler_names =
+      SplitCsv(args.Get("--schedulers", "philly"));
+  if (seeds.empty() || scheduler_names.empty()) {
+    std::fprintf(stderr, "sweep needs at least one seed and one scheduler\n");
+    return 2;
+  }
+
+  const int days = args.GetInt("--days", 10);
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& name : scheduler_names) {
+    SchedulerConfig sched;
+    if (!SchedulerByName(name, &sched) ||
+        !ApplyCommonSchedulerOptions(args, &sched)) {
+      return 2;
+    }
+    for (const uint64_t seed : seeds) {
+      ExperimentConfig config = ExperimentConfig::BenchScale(days, seed);
+      config.simulation.scheduler = sched;
+      configs.push_back(std::move(config));
+    }
+  }
+
+  const ExperimentPool pool(args.GetInt("--threads", 0));
+  std::printf("sweeping %zu scheduler(s) x %zu seed(s) over %d days on %d "
+              "worker thread(s)...\n\n",
+              scheduler_names.size(), seeds.size(), days, pool.num_threads());
+  const std::vector<ExperimentRun> runs = pool.RunMany(std::move(configs));
+
+  TextTable table({"scheduler", "seed", "jobs", "passed %", "mean queue (min)",
+                   "mean util (%)", "preemptions"});
+  for (size_t s = 0; s < scheduler_names.size(); ++s) {
+    for (size_t k = 0; k < seeds.size(); ++k) {
+      const ExperimentRun& run = runs[s * seeds.size() + k];
+      const auto status = AnalyzeStatus(run.result.jobs);
+      double queue_sum = 0.0;
+      for (const auto& job : run.result.jobs) {
+        queue_sum += ToMinutes(job.InitialQueueDelay());
+      }
+      const double mean_queue =
+          run.result.jobs.empty()
+              ? 0.0
+              : queue_sum / static_cast<double>(run.result.jobs.size());
+      table.AddRow({scheduler_names[s], std::to_string(seeds[k]),
+                    std::to_string(run.num_jobs),
+                    FormatPercent(status.by_status[0].count_share, 1),
+                    FormatDouble(mean_queue, 2),
+                    FormatDouble(AnalyzeUtilization(run.result.jobs).all.Mean(), 1),
+                    std::to_string(run.result.preemptions)});
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace philly
 
@@ -355,6 +456,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "analyze") {
     return philly::RunAnalyze(args);
+  }
+  if (args.command == "sweep") {
+    return philly::RunSweep(args);
   }
   return philly::Usage();
 }
