@@ -64,6 +64,7 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
         server_capacity_.push_back(sku.gpus_per_server);
         server_used_.push_back(0);
         server_rack_.push_back(rack);
+        server_offline_.push_back(0);
         server_tenants_.emplace_back();
         rack_servers_[rack].push_back(server);
         total_gpus_ += sku.gpus_per_server;
@@ -143,7 +144,9 @@ double Cluster::EmptyServerFraction() const {
   }
   int empty = 0;
   for (size_t s = 0; s < server_used_.size(); ++s) {
-    if (server_used_[s] == 0) {
+    // An offline server is not "empty but available" — it contributes nothing
+    // to the fragmentation the paper measures.
+    if (server_used_[s] == 0 && server_offline_[s] == 0) {
       ++empty;
     }
   }
@@ -154,13 +157,34 @@ int Cluster::RacksWithEmptyServers() const {
   int racks = 0;
   for (const auto& servers : rack_servers_) {
     for (ServerId s : servers) {
-      if (server_used_[s] == 0) {
+      if (server_used_[s] == 0 && server_offline_[s] == 0) {
         ++racks;
         break;
       }
     }
   }
   return racks;
+}
+
+void Cluster::SetServerOffline(ServerId s, bool offline) {
+  assert(s >= 0 && s < NumServers());
+  if (ServerOffline(s) == offline) {
+    return;
+  }
+  if (offline) {
+    // Callers must evict tenants first; taking capacity away under a running
+    // gang would corrupt the used/free bookkeeping.
+    assert(server_used_[s] == 0);
+    server_offline_[s] = 1;
+    rack_free_[server_rack_[s]] -= server_capacity_[s];
+    offline_gpus_ += server_capacity_[s];
+    ++num_offline_;
+  } else {
+    server_offline_[s] = 0;
+    rack_free_[server_rack_[s]] += server_capacity_[s];
+    offline_gpus_ -= server_capacity_[s];
+    --num_offline_;
+  }
 }
 
 double Cluster::CpuCoresFor(ServerId s, int gpus) const {

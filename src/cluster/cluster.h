@@ -71,12 +71,16 @@ class Cluster {
   int NumRacks() const { return static_cast<int>(rack_servers_.size()); }
   int NumGpus() const { return total_gpus_; }
   int NumUsedGpus() const { return used_gpus_; }
-  int NumFreeGpus() const { return total_gpus_ - used_gpus_; }
+  int NumFreeGpus() const { return total_gpus_ - used_gpus_ - offline_gpus_; }
   double Occupancy() const;
 
   int ServerCapacity(ServerId s) const { return server_capacity_[s]; }
   int ServerUsed(ServerId s) const { return server_used_[s]; }
-  int ServerFree(ServerId s) const { return server_capacity_[s] - server_used_[s]; }
+  // Offline servers advertise zero free GPUs, which is all a placer (or
+  // Allocate's validation) consults — no separate health check needed there.
+  int ServerFree(ServerId s) const {
+    return server_offline_[s] ? 0 : server_capacity_[s] - server_used_[s];
+  }
   RackId ServerRack(ServerId s) const { return server_rack_[s]; }
   const std::vector<ServerId>& ServersInRack(RackId r) const { return rack_servers_[r]; }
   int RackFreeGpus(RackId r) const { return rack_free_[r]; }
@@ -115,9 +119,18 @@ class Cluster {
   double CpuCoresFor(ServerId s, int gpus) const;
   double MemoryGbFor(ServerId s, int gpus) const;
 
+  // Takes a server out of (or back into) service, e.g. for a machine fault.
+  // The server must be drained (no tenants) before going offline; its GPUs
+  // stop counting as free until it returns. No-op if already in that state.
+  void SetServerOffline(ServerId s, bool offline);
+  bool ServerOffline(ServerId s) const { return server_offline_[s] != 0; }
+  int NumOfflineServers() const { return num_offline_; }
+
  private:
   int total_gpus_ = 0;
   int used_gpus_ = 0;
+  int offline_gpus_ = 0;
+  int num_offline_ = 0;
   ClusterConfig config_;
   std::vector<int> server_capacity_;
   std::vector<int> server_used_;
@@ -125,6 +138,7 @@ class Cluster {
   std::vector<std::vector<ServerId>> rack_servers_;
   std::vector<int> rack_capacity_;
   std::vector<int> rack_free_;
+  std::vector<uint8_t> server_offline_;
   std::vector<std::vector<Tenant>> server_tenants_;
   // JobId -> shards held; PlacementOf() returns shards sorted by server id so
   // iteration order stays deterministic.

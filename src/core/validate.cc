@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "src/core/analysis.h"
+
 namespace philly {
 namespace {
 
@@ -112,6 +114,36 @@ ValidationReport ValidateJobs(const std::vector<JobRecord>& jobs,
       if (wait.fair_share_time + wait.fragmentation_time > wait.wait) {
         Report(&report, options, id, "wait cause attribution exceeds the wait");
       }
+    }
+  }
+  return report;
+}
+
+ValidationReport ValidateFailureShares(const std::vector<JobRecord>& jobs,
+                                       FailureShareOptions options) {
+  ValidationReport report;
+  report.jobs_checked = static_cast<int64_t>(jobs.size());
+  const FailureAnalysisResult failures = AnalyzeFailures(jobs);
+  report.attempts_checked = failures.total_trials;
+  if (failures.total_trials < options.min_trials) {
+    return report;  // too few failures to estimate shares
+  }
+  const double paper_total = TotalPaperTrials();
+  const double sim_total = static_cast<double>(failures.total_trials);
+  for (const FailureAnalysisResult::ReasonRow& row : failures.rows) {
+    const FailureReasonInfo& info = InfoOf(row.reason);
+    if (info.paper_trials <= 0) {
+      continue;  // not in the published table (machine-fault family)
+    }
+    const double expected = info.paper_trials / paper_total;
+    const double measured = static_cast<double>(row.trials) / sim_total;
+    const double deviation = std::abs(measured - expected);
+    if (deviation > options.tolerance) {
+      std::ostringstream what;
+      what << "failure share of '" << ToString(row.reason) << "' is "
+           << measured << " vs published " << expected << " (|diff| "
+           << deviation << " > tolerance " << options.tolerance << ")";
+      Report(&report, ValidateOptions{}, kNoJob, what.str());
     }
   }
   return report;

@@ -88,6 +88,16 @@ const std::array<FailureReasonInfo, kNumFailureReasons> kCatalog = {{
         1, 1, 1, 0.12, 0.12, 0.12, 0.00, 1, 0, 0, 0.00, 0.95, 0.02),
     Row(FailureReason::kNoSignature, "No signature", false, false, false,  //
         1684, 698, 94, 1.87, 28.00, 95.17, 0.42, 1235, 294, 155, 0.21, 0.93, 0.03),
+    // Machine-fault family: emitted by the scheduler when src/fault kills an
+    // attempt, never sampled by the injector (paper_trials and demand counts
+    // are zero, so injector weights — and its RNG stream — are untouched).
+    // The RTF percentiles are placeholders for the lognormal fit only.
+    Row(FailureReason::kNodeCrash, "Node crash", true, false, false,  //
+        0, 0, 0, 30.0, 600.0, 1200.0, 0.00, 0, 0, 0, 0.00, 0.10, 0.02),
+    Row(FailureReason::kNodeEccDegraded, "Node ECC degraded", true, false, false,  //
+        0, 0, 0, 60.0, 900.0, 1800.0, 0.00, 0, 0, 0, 0.00, 0.10, 0.02),
+    Row(FailureReason::kRackSwitchOutage, "Rack switch outage", true, false, false,  //
+        0, 0, 0, 30.0, 300.0, 600.0, 0.00, 0, 0, 0, 0.00, 0.10, 0.02),
 }};
 
 }  // namespace

@@ -41,9 +41,19 @@ enum class FailureReason {
   kOutputNodeError,
   kCannotLoadLibs,
   kNoSignature,
+  // Machine-level fault family (src/fault): attempts killed because their
+  // server crashed, was drained for GPU ECC degradation, or lost its rack
+  // switch. Not in the published Table 7 (paper stats stay zero), so the
+  // per-job injector never samples them; only the scheduler emits them.
+  // Deliberately AFTER kNoSignature: the injector's cursed-pair hash keys on
+  // the numeric enum value, so the 22 published reasons must keep the values
+  // they had before this family existed.
+  kNodeCrash,
+  kNodeEccDegraded,
+  kRackSwitchOutage,
 };
 
-inline constexpr int kNumFailureReasons = 22;
+inline constexpr int kNumFailureReasons = 25;
 
 std::string_view ToString(FailureReason reason);
 

@@ -126,6 +126,21 @@ const std::vector<TemplateSet>& Templates() {
         "shared object file",
         "OSError: libcudnn.so.7: cannot open shared object file"},
        false},
+      {FailureReason::kNodeCrash,
+       {"node gpu-{} marked LOST: missed 3 consecutive heartbeats",
+        "kernel panic - not syncing: fatal machine check on physical node",
+        "NodeManager on gpu-{} stopped responding; draining containers"},
+       false},
+      {FailureReason::kNodeEccDegraded,
+       {"NVRM: Xid 64: ECC page retirement pending on GPU {}",
+        "DBE rate threshold exceeded: node drained for GPU swap",
+        "row remapping pending on device {}: scheduling node maintenance"},
+       false},
+      {FailureReason::kRackSwitchOutage,
+       {"top-of-rack switch unreachable: rack {} isolated from fabric",
+        "ibv_poll_cq: transport retry counter exceeded on all QPs",
+        "InfiniBand port down on leaf switch {}: links lost to every member"},
+       false},
       {FailureReason::kNoSignature,
        {"job process exited with code -1 and no diagnostics",
         "worker {} terminated unexpectedly", "exit status 255",
@@ -236,6 +251,17 @@ FailureClassifier::FailureClassifier() {
   add(FailureReason::kGpuEccError, 10,
       {"double bit ECC", "double-bit ECC", "Xid 48", "Xid 63",
        "fallen off the bus", "uncorrectable ECC"});
+  // Machine-fault family (src/fault): health-infrastructure signatures, kept
+  // disjoint from the per-GPU ECC signatures above.
+  add(FailureReason::kNodeCrash, 10,
+      {"marked LOST", "consecutive heartbeats", "kernel panic",
+       "NodeManager", "stopped responding"});
+  add(FailureReason::kNodeEccDegraded, 10,
+      {"Xid 64", "page retirement pending", "row remapping pending",
+       "DBE rate threshold", "drained for GPU swap"});
+  add(FailureReason::kRackSwitchOutage, 10,
+      {"top-of-rack switch", "transport retry counter exceeded",
+       "InfiniBand port down", "isolated from fabric"});
   add(FailureReason::kCudaFailure, 20,
       {"unspecified launch failure", "cudaErrorLaunchTimeout",
        "CUDNN_STATUS_EXECUTION_FAILED", "CUDNN_STATUS_INTERNAL_ERROR",

@@ -31,6 +31,11 @@ bool AdaptiveRetryPolicy::ShouldRetry(FailureReason reason, int attempt_index) c
     case FailureReason::kCoreDump:
     case FailureReason::kInvalidMemAccess:
     case FailureReason::kTracebackFromCrash:
+    // Machine faults are the canonical transient class: the job itself is
+    // healthy, the hardware under it died.
+    case FailureReason::kNodeCrash:
+    case FailureReason::kNodeEccDegraded:
+    case FailureReason::kRackSwitchOutage:
     case FailureReason::kNoSignature:
       return true;
   }

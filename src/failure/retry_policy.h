@@ -80,17 +80,17 @@ class PredictiveRetryPolicy final : public RetryPolicy {
   explicit PredictiveRetryPolicy(int max_retries = 2, int repeat_threshold = 3)
       : max_retries_(max_retries), repeat_threshold_(repeat_threshold) {}
 
-  bool ShouldRetry(FailureReason /*reason*/, int attempt_index) const override {
-    return attempt_index < max_retries_;
+  // Both overloads route through Decide so the blacklist is always consulted.
+  // Without a user context the policy is conservative: a reason blacklisted
+  // for *any* user stops retries (the caller cannot prove it is a different
+  // user's job). Previously this overload ignored pair_failures_ entirely.
+  bool ShouldRetry(FailureReason reason, int attempt_index) const override {
+    return Decide(nullptr, reason, attempt_index);
   }
 
   bool ShouldRetryFor(UserId user, FailureReason reason,
                       int attempt_index) const override {
-    if (attempt_index >= max_retries_) {
-      return false;
-    }
-    const auto it = pair_failures_.find({user, reason});
-    return it == pair_failures_.end() || it->second < repeat_threshold_;
+    return Decide(&user, reason, attempt_index);
   }
 
   void ObserveFailure(UserId user, FailureReason reason) override {
@@ -109,6 +109,22 @@ class PredictiveRetryPolicy final : public RetryPolicy {
   std::string_view Name() const override { return "predictive"; }
 
  private:
+  bool Decide(const UserId* user, FailureReason reason, int attempt_index) const {
+    if (attempt_index >= max_retries_) {
+      return false;
+    }
+    if (user != nullptr) {
+      const auto it = pair_failures_.find({*user, reason});
+      return it == pair_failures_.end() || it->second < repeat_threshold_;
+    }
+    for (const auto& [pair, count] : pair_failures_) {
+      if (pair.second == reason && count >= repeat_threshold_) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   int max_retries_;
   int repeat_threshold_;
   std::map<std::pair<UserId, FailureReason>, int> pair_failures_;

@@ -1,0 +1,37 @@
+#include "src/fault/node_health.h"
+
+#include <cassert>
+
+namespace philly {
+
+NodeHealthTracker::NodeHealthTracker(int num_servers)
+    : servers_(static_cast<size_t>(num_servers)) {}
+
+bool NodeHealthTracker::MarkFault(ServerId server, SimTime at, FaultKind kind) {
+  ServerHealth& health = servers_[static_cast<size_t>(server)];
+  if (health.state != State::kHealthy) {
+    return false;
+  }
+  health.state = State::kFaultPending;
+  health.kind = kind;
+  health.fault_time = at;
+  ++faults_marked_;
+  return true;
+}
+
+void NodeHealthTracker::MarkOffline(ServerId server) {
+  ServerHealth& health = servers_[static_cast<size_t>(server)];
+  assert(health.state == State::kFaultPending);
+  health.state = State::kOffline;
+  ++num_offline_;
+}
+
+void NodeHealthTracker::MarkRepaired(ServerId server) {
+  ServerHealth& health = servers_[static_cast<size_t>(server)];
+  assert(health.state == State::kOffline);
+  health.state = State::kHealthy;
+  --num_offline_;
+  ++repairs_completed_;
+}
+
+}  // namespace philly

@@ -1,0 +1,84 @@
+// Scheduler-side node health state machine.
+//
+// Production schedulers do not see faults the instant they happen: a crashed
+// node is noticed when it misses enough heartbeats, and only then is it
+// drained, blacklisted from placement, and handed to repair. NodeHealthTracker
+// models that per-server lifecycle:
+//
+//   kHealthy --fault occurs--> kFaultPending --heartbeat timeout-->
+//   kOffline (drained + blacklisted, under repair) --repair done--> kHealthy
+//
+// While kFaultPending the cluster keeps scheduling onto the machine and
+// resident attempts keep burning GPU time — exactly the detection-delay waste
+// the paper's §4.2 infrastructure failures incur. While kOffline the server
+// reports zero free GPUs (Cluster::SetServerOffline) so placement naturally
+// routes around it.
+//
+// The tracker records state transitions only; event timing (when detection
+// and repair fire) is driven by ClusterSimulation's event queue.
+
+#ifndef SRC_FAULT_NODE_HEALTH_H_
+#define SRC_FAULT_NODE_HEALTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/sim_time.h"
+#include "src/fault/fault_process.h"
+
+namespace philly {
+
+class NodeHealthTracker {
+ public:
+  enum class State { kHealthy, kFaultPending, kOffline };
+
+  explicit NodeHealthTracker(int num_servers);
+
+  State StateOf(ServerId server) const {
+    return servers_[static_cast<size_t>(server)].state;
+  }
+  bool Healthy(ServerId server) const {
+    return StateOf(server) == State::kHealthy;
+  }
+
+  // A fault hit `server` at `at`. Returns false (and changes nothing) if the
+  // server is already pending or offline — an overlapping event cannot break
+  // a machine twice.
+  bool MarkFault(ServerId server, SimTime at, FaultKind kind);
+
+  // The heartbeat timeout for the pending fault expired: the server is now
+  // drained and blacklisted. Requires state kFaultPending.
+  void MarkOffline(ServerId server);
+
+  // Repair completed; the server rejoins the healthy pool.
+  void MarkRepaired(ServerId server);
+
+  // Valid while the server is pending or offline.
+  FaultKind KindOf(ServerId server) const {
+    return servers_[static_cast<size_t>(server)].kind;
+  }
+  SimTime FaultTimeOf(ServerId server) const {
+    return servers_[static_cast<size_t>(server)].fault_time;
+  }
+
+  int num_offline() const { return num_offline_; }
+  int64_t faults_marked() const { return faults_marked_; }
+  int64_t repairs_completed() const { return repairs_completed_; }
+
+ private:
+  struct ServerHealth {
+    State state = State::kHealthy;
+    FaultKind kind = FaultKind::kServerCrash;
+    SimTime fault_time = 0;
+  };
+
+  std::vector<ServerHealth> servers_;
+  int num_offline_ = 0;
+  int64_t faults_marked_ = 0;
+  int64_t repairs_completed_ = 0;
+};
+
+}  // namespace philly
+
+#endif  // SRC_FAULT_NODE_HEALTH_H_

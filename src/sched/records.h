@@ -57,6 +57,9 @@ struct AttemptRecord {
   Placement placement;
   bool failed = false;
   bool preempted = false;
+  // Killed because the hardware under it went away (src/fault machine fault),
+  // not because the attempt itself misbehaved. Not serialized to traces.
+  bool machine_fault = false;
   // Ran on one GPU of the pre-run pool rather than a gang placement (§5
   // failure-handling ablation); placement is empty for these.
   bool prerun = false;
@@ -134,6 +137,10 @@ struct SimulationResult {
     // (epochs are recorded when an attempt ends or is suspended; epochs of
     // the in-flight portion of a running attempt are not yet included).
     int64_t executed_epochs_total = 0;
+    // Machine-fault state at snapshot time (all zero when faults disabled).
+    int offline_servers = 0;
+    int64_t machine_fault_kills_total = 0;
+    double machine_fault_lost_gpu_seconds_total = 0.0;
   };
   std::vector<OccupancySnapshot> occupancy_snapshots;
 
@@ -150,6 +157,14 @@ struct SimulationResult {
   int64_t prerun_jobs = 0;
   int64_t prerun_catches = 0;
   double prerun_gpu_seconds = 0.0;
+
+  // Machine-fault accounting (src/fault; all zero when faults disabled).
+  int64_t machine_faults_injected = 0;      // fault events hitting >=1 healthy server
+  int64_t machine_fault_server_downs = 0;   // servers taken offline
+  int64_t machine_fault_kills = 0;          // running attempts killed by faults
+  // GPU-seconds thrown away by faults: work past the last checkpoint plus the
+  // undetected dead window between fault and detection.
+  double machine_fault_lost_gpu_seconds = 0.0;
 };
 
 }  // namespace philly

@@ -20,6 +20,10 @@
 
 namespace philly {
 
+// No periodic checkpointing: a machine-fault kill restarts the job from zero
+// clean progress.
+inline constexpr SimDuration kNoCheckpoint = 0;
+
 enum class QueueOrdering {
   kFifoArrival,                // Philly / Gandiva: arrival time
   kShortestRemainingFirst,     // Optimus: oracle remaining time
@@ -105,6 +109,13 @@ struct SchedulerConfig {
   int predictive_repeat_threshold = 3;
   // Back-compat convenience for the adaptive ablation.
   bool adaptive_retry = false;
+
+  // Checkpoint-aware machine-fault recovery: with period K > 0, a job killed
+  // by a machine fault resumes from the largest multiple of K of its clean
+  // executed time (the last periodic checkpoint); with kNoCheckpoint it
+  // restarts from zero. Only machine-fault kills consult this — scheduler
+  // preemption already checkpoints at epoch granularity (§2.3).
+  SimDuration checkpoint_period = kNoCheckpoint;
 
   PlacerConfig placer;
 

@@ -16,6 +16,18 @@ constexpr double kSegmentUtilEpsilon = 0.005;
 // Out-of-order queue scan depth per VC per pass.
 constexpr int kMaxQueueScan = 64;
 
+FailureReason ReasonForFault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kServerCrash:
+      return FailureReason::kNodeCrash;
+    case FaultKind::kGpuEccDegraded:
+      return FailureReason::kNodeEccDegraded;
+    case FaultKind::kSwitchOutage:
+      return FailureReason::kRackSwitchOutage;
+  }
+  return FailureReason::kNodeCrash;
+}
+
 }  // namespace
 
 ClusterSimulation::ClusterSimulation(SimulationConfig config, std::vector<JobSpec> jobs)
@@ -33,7 +45,15 @@ ClusterSimulation::ClusterSimulation(SimulationConfig config, std::vector<JobSpe
         fc.seed ^= config_.seed;
         return fc;
       }()),
-      rng_(config_.seed ^ 0xC0FFEEull) {
+      rng_(config_.seed ^ 0xC0FFEEull),
+      fault_process_(
+          [&] {
+            FaultProcessConfig fc = config_.fault;
+            fc.seed ^= config_.seed;
+            return fc;
+          }(),
+          cluster_.NumServers(), cluster_.NumRacks()),
+      health_(cluster_.NumServers()) {
   SchedulerConfig::RetryPolicyKind kind = config_.scheduler.retry_policy;
   if (config_.scheduler.adaptive_retry) {
     kind = SchedulerConfig::RetryPolicyKind::kAdaptive;
@@ -88,6 +108,18 @@ SimulationResult ClusterSimulation::Run() {
     sim_.ScheduleAfter(config_.snapshot_period, [this] { TakeSnapshot(); });
     if (config_.scheduler.enable_migration) {
       sim_.ScheduleAfter(config_.scheduler.migration_period, [this] { MigrationPass(); });
+    }
+    if (fault_process_.enabled()) {
+      for (ServerId s = 0; s < cluster_.NumServers(); ++s) {
+        ScheduleNextServerFault(s, 0);
+      }
+      for (RackId r = 0; r < cluster_.NumRacks(); ++r) {
+        ScheduleNextRackFault(r, 0);
+      }
+      for (const FaultEvent& scripted : fault_process_.config().scripted) {
+        sim_.ScheduleAt(scripted.at,
+                        [this, scripted] { OnFaultOccurred(scripted, false); });
+      }
     }
   }
   sim_.Run();
@@ -512,7 +544,8 @@ void ClusterSimulation::StartAttempt(JobState& job, const Placement& placement) 
   if (job.plan.fails && job.failure_trials_used < job.plan.num_failure_trials) {
     job.kind = AttemptKind::kFailing;
     duration = std::max<SimDuration>(
-        1, job.plan.trial_rtfs[static_cast<size_t>(job.failure_trials_used)]);
+        1, job.plan.trial_rtfs[static_cast<size_t>(job.failure_trials_used)] -
+               job.failing_resume);
   } else {
     job.kind = AttemptKind::kClean;
     SimDuration remaining = std::max<SimDuration>(1, job.CleanRemaining());
@@ -651,6 +684,7 @@ void ClusterSimulation::OnAttemptEnd(JobId id) {
     }
   } else {
     ++job.failure_trials_used;
+    job.failing_resume = 0;  // the trial fired; nothing carries forward
     attempt.failed = true;
     attempt.true_reason = job.plan.reason;
     attempt.log_tail = synthesizer_.LinesFor(job.plan.reason, rng_);
@@ -880,6 +914,180 @@ void ClusterSimulation::FinishJob(JobState& job, JobStatus status) {
   ++jobs_done_;
 }
 
+void ClusterSimulation::ScheduleNextServerFault(ServerId s, SimTime after) {
+  const auto event = fault_process_.NextServerFault(s, after);
+  if (!event.has_value()) {
+    return;
+  }
+  const FaultEvent e = *event;
+  sim_.ScheduleAt(e.at, [this, e] { OnFaultOccurred(e, true); });
+}
+
+void ClusterSimulation::ScheduleNextRackFault(RackId r, SimTime after) {
+  const auto event = fault_process_.NextRackFault(r, after);
+  if (!event.has_value()) {
+    return;
+  }
+  const FaultEvent e = *event;
+  sim_.ScheduleAt(e.at, [this, e] { OnFaultOccurred(e, true); });
+}
+
+void ClusterSimulation::OnFaultOccurred(const FaultEvent& event, bool sampled) {
+  if (jobs_done_ >= static_cast<int>(jobs_.size())) {
+    return;  // trace finished; let the simulator drain
+  }
+  std::vector<ServerId> affected;
+  if (event.rack >= 0) {
+    affected = cluster_.ServersInRack(event.rack);
+  } else {
+    affected.push_back(event.server);
+  }
+  std::vector<ServerId> marked;
+  for (ServerId s : affected) {
+    if (health_.MarkFault(s, event.at, event.kind)) {
+      marked.push_back(s);
+    }
+  }
+  if (marked.empty()) {
+    // Every target is already faulted/offline (e.g. a rack outage hitting a
+    // crashed server). The renewal stream still continues.
+    if (sampled) {
+      if (event.rack >= 0) {
+        ScheduleNextRackFault(event.rack, sim_.Now());
+      } else {
+        ScheduleNextServerFault(event.server, sim_.Now());
+      }
+    }
+    return;
+  }
+  ++result_.machine_faults_injected;
+  // The scheduler notices only after the heartbeat timeout: jobs keep
+  // "running" (and burning GPU-time) through the detection window.
+  sim_.ScheduleAfter(fault_process_.config().detection_delay,
+                     [this, event, marked = std::move(marked), sampled] {
+                       OnFaultDetected(event, marked, sampled);
+                     });
+}
+
+void ClusterSimulation::OnFaultDetected(const FaultEvent& event,
+                                        std::vector<ServerId> servers, bool sampled) {
+  if (jobs_done_ >= static_cast<int>(jobs_.size())) {
+    // Nothing left to protect; skip the drain but keep health bookkeeping
+    // consistent so asserts hold.
+    for (ServerId s : servers) {
+      health_.MarkOffline(s);
+      health_.MarkRepaired(s);
+    }
+    return;
+  }
+  // Collect victims before draining: first-seen order over the marked
+  // servers' tenant lists keeps this deterministic.
+  std::vector<JobId> victims;
+  for (ServerId s : servers) {
+    for (const auto& tenant : cluster_.TenantsOnServer(s)) {
+      if (std::find(victims.begin(), victims.end(), tenant.job) == victims.end()) {
+        victims.push_back(tenant.job);
+      }
+    }
+  }
+  const FailureReason reason = ReasonForFault(event.kind);
+  for (JobId id : victims) {
+    JobState& job = StateOf(id);
+    if (job.phase == Phase::kRunning) {
+      KillAttemptForFault(job, reason, event.at);
+    }
+  }
+  for (ServerId s : servers) {
+    health_.MarkOffline(s);
+    cluster_.SetServerOffline(s, true);
+  }
+  result_.machine_fault_server_downs += static_cast<int64_t>(servers.size());
+  const SimDuration repair = std::max<SimDuration>(1, event.repair);
+  sim_.ScheduleAfter(repair, [this, event, servers = std::move(servers), sampled] {
+    OnFaultRepaired(event, servers, sampled);
+  });
+  if (!victims.empty()) {
+    RequestSchedulingPass(0);
+  }
+}
+
+void ClusterSimulation::OnFaultRepaired(const FaultEvent& event,
+                                        std::vector<ServerId> servers, bool sampled) {
+  for (ServerId s : servers) {
+    cluster_.SetServerOffline(s, false);
+    health_.MarkRepaired(s);
+  }
+  if (jobs_done_ >= static_cast<int>(jobs_.size())) {
+    return;  // no reschedule: let the simulator terminate
+  }
+  RequestSchedulingPass(0);
+  if (sampled) {
+    if (event.rack >= 0) {
+      ScheduleNextRackFault(event.rack, sim_.Now());
+    } else {
+      ScheduleNextServerFault(event.server, sim_.Now());
+    }
+  }
+}
+
+void ClusterSimulation::KillAttemptForFault(JobState& job, FailureReason reason,
+                                            SimTime fault_time) {
+  assert(job.phase == Phase::kRunning);
+  const SimTime now = sim_.Now();
+  sim_.Cancel(job.end_event);
+  if (job.quantum_event.value != 0) {
+    sim_.Cancel(job.quantum_event);
+    job.quantum_event = EventId{};
+  }
+  CloseSegment(job);
+  AttemptRecord& attempt = job.record.attempts.back();
+  attempt.end = now;
+  attempt.failed = true;
+  attempt.machine_fault = true;
+  attempt.true_reason = reason;
+  attempt.log_tail = synthesizer_.LinesFor(reason, rng_);
+  job.record.gpu_seconds += attempt.GpuTime();
+
+  // Work attribution: the attempt produced nothing after the fault struck
+  // (the detection window is dead time), and everything after the last
+  // checkpoint is lost too.
+  const SimTime fault_clamped =
+      std::min(now, std::max(fault_time, attempt.start));
+  const int gpus = attempt.placement.NumGpus();
+  double lost = static_cast<double>(now - fault_clamped) * gpus;
+  if (job.kind == AttemptKind::kClean) {
+    const SimDuration produced =
+        job.clean_executed + (fault_clamped - attempt.start);
+    const SimDuration ckpt = config_.scheduler.checkpoint_period;
+    const SimDuration resumed = ckpt > 0 ? (produced / ckpt) * ckpt : 0;
+    lost += static_cast<double>(produced - resumed) * gpus;
+    job.clean_executed = resumed;
+    const SimDuration epoch = std::max<SimDuration>(1, job.spec.EpochDuration());
+    job.record.executed_epochs = static_cast<int>(
+        std::min<int64_t>(job.spec.planned_epochs, job.clean_executed / epoch));
+  } else {
+    // The trial is not consumed, but checkpoints still bound the loss: a
+    // deterministic bug re-manifests after the remaining RTF, so the retried
+    // attempt resumes from the last checkpoint of the doomed run.
+    const SimDuration produced =
+        job.failing_resume + (fault_clamped - attempt.start);
+    const SimDuration ckpt = config_.scheduler.checkpoint_period;
+    const SimDuration resumed = ckpt > 0 ? (produced / ckpt) * ckpt : 0;
+    lost += static_cast<double>(produced - resumed) * gpus;
+    job.failing_resume = resumed;
+  }
+  result_.machine_fault_lost_gpu_seconds += lost;
+  ++result_.machine_fault_kills;
+
+  cluster_.Release(job.spec.id);
+  VcOf(job).used_gpus -= job.spec.num_gpus;
+  RefreshCotenantSegments(attempt.placement, job.spec.id);
+  // Machine faults are the cluster's fault, not the job's: no retry-policy
+  // consult, no ObserveFailure (they must not poison the predictive
+  // blacklist), no failure-trial consumption — just requeue and resume.
+  Requeue(job);
+}
+
 void ClusterSimulation::TakeSnapshot() {
   SimulationResult::OccupancySnapshot snap;
   snap.time = sim_.Now();
@@ -889,6 +1097,9 @@ void ClusterSimulation::TakeSnapshot() {
   for (const auto& job : jobs_) {
     snap.executed_epochs_total += job.record.executed_epochs;
   }
+  snap.offline_servers = cluster_.NumOfflineServers();
+  snap.machine_fault_kills_total = result_.machine_fault_kills;
+  snap.machine_fault_lost_gpu_seconds_total = result_.machine_fault_lost_gpu_seconds;
   result_.occupancy_snapshots.push_back(snap);
   if (jobs_done_ < static_cast<int>(jobs_.size())) {
     sim_.ScheduleAfter(config_.snapshot_period, [this] { TakeSnapshot(); });

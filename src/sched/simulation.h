@@ -26,6 +26,8 @@
 
 #include "src/cluster/cluster.h"
 #include "src/failure/failure_injector.h"
+#include "src/fault/fault_process.h"
+#include "src/fault/node_health.h"
 #include "src/failure/failure_logs.h"
 #include "src/failure/retry_policy.h"
 #include "src/sched/placement.h"
@@ -41,6 +43,8 @@ struct SimulationConfig {
   ClusterConfig cluster = ClusterConfig::PaperScale();
   SchedulerConfig scheduler = SchedulerConfig::Philly();
   FailureInjectorConfig failure;
+  // Machine-level fault process (disabled by default: zero MTBFs).
+  FaultProcessConfig fault;
   UtilModelConfig util_model;
   // Virtual-cluster definitions (quota per VC); normally taken from the
   // workload config so indices line up.
@@ -78,6 +82,11 @@ class ClusterSimulation {
     bool prerun_done = false;
     int failure_trials_used = 0;
     SimDuration clean_executed = 0;
+    // Checkpointed progress toward the current failure trial. Non-zero only
+    // after a machine fault killed a failing attempt under checkpointing: a
+    // deterministic bug re-manifests after the *remaining* RTF, not from
+    // scratch. Always 0 with faults disabled.
+    SimDuration failing_resume = 0;
     AttemptKind kind = AttemptKind::kClean;
     bool kill_at_end = false;
     SimTime attempt_start = 0;
@@ -104,6 +113,18 @@ class ClusterSimulation {
   void OnPrerunEnd(JobId id, bool caught);
   void MigrationPass();
   void TakeSnapshot();
+
+  // --- machine faults (src/fault) ---
+  // `sampled` distinguishes renewal-process events (which reschedule the next
+  // fault for their server/rack after repair) from scripted one-shots.
+  void ScheduleNextServerFault(ServerId s, SimTime after);
+  void ScheduleNextRackFault(RackId r, SimTime after);
+  void OnFaultOccurred(const FaultEvent& event, bool sampled);
+  void OnFaultDetected(const FaultEvent& event, std::vector<ServerId> servers,
+                       bool sampled);
+  void OnFaultRepaired(const FaultEvent& event, std::vector<ServerId> servers,
+                       bool sampled);
+  void KillAttemptForFault(JobState& job, FailureReason reason, SimTime fault_time);
 
   // --- scheduling ---
   void RequestSchedulingPass(SimDuration delay);
@@ -148,6 +169,8 @@ class ClusterSimulation {
   FailureClassifier classifier_;
   std::unique_ptr<RetryPolicy> retry_policy_;
   Rng rng_;
+  FaultProcess fault_process_;
+  NodeHealthTracker health_;
 
   std::vector<JobState> jobs_;                    // dense storage
   std::unordered_map<JobId, size_t> job_index_;   // id -> index

@@ -48,6 +48,7 @@ void ExpectJobRecordsEqual(const JobRecord& a, const JobRecord& b) {
     EXPECT_EQ(x.end, y.end);
     EXPECT_EQ(x.failed, y.failed);
     EXPECT_EQ(x.preempted, y.preempted);
+    EXPECT_EQ(x.machine_fault, y.machine_fault);
     EXPECT_EQ(x.prerun, y.prerun);
     EXPECT_EQ(x.true_reason, y.true_reason);
     EXPECT_EQ(x.log_tail, y.log_tail);
@@ -77,6 +78,11 @@ void ExpectRunsEqual(const ExperimentRun& a, const ExperimentRun& b) {
   EXPECT_EQ(a.result.prerun_jobs, b.result.prerun_jobs);
   EXPECT_EQ(a.result.prerun_catches, b.result.prerun_catches);
   EXPECT_EQ(a.result.prerun_gpu_seconds, b.result.prerun_gpu_seconds);
+  EXPECT_EQ(a.result.machine_faults_injected, b.result.machine_faults_injected);
+  EXPECT_EQ(a.result.machine_fault_server_downs, b.result.machine_fault_server_downs);
+  EXPECT_EQ(a.result.machine_fault_kills, b.result.machine_fault_kills);
+  EXPECT_EQ(a.result.machine_fault_lost_gpu_seconds,
+            b.result.machine_fault_lost_gpu_seconds);
 
   ASSERT_EQ(a.result.occupancy_snapshots.size(), b.result.occupancy_snapshots.size());
   for (size_t i = 0; i < a.result.occupancy_snapshots.size(); ++i) {
@@ -87,6 +93,10 @@ void ExpectRunsEqual(const ExperimentRun& a, const ExperimentRun& b) {
     EXPECT_EQ(x.empty_server_fraction, y.empty_server_fraction);
     EXPECT_EQ(x.racks_with_empty_servers, y.racks_with_empty_servers);
     EXPECT_EQ(x.executed_epochs_total, y.executed_epochs_total);
+    EXPECT_EQ(x.offline_servers, y.offline_servers);
+    EXPECT_EQ(x.machine_fault_kills_total, y.machine_fault_kills_total);
+    EXPECT_EQ(x.machine_fault_lost_gpu_seconds_total,
+              y.machine_fault_lost_gpu_seconds_total);
   }
 
   ASSERT_EQ(a.result.jobs.size(), b.result.jobs.size());

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/experiment.h"
+#include "src/fault/fault_process.h"
 
 namespace philly {
 namespace {
@@ -117,6 +118,59 @@ TEST_P(SimulatorOutputValid, EveryRunValidates) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorOutputValid,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ----------------------------------------------- failure-share distribution
+
+// The classified failure-reason mix of simulator output must track the
+// published Table 7 shares within tolerance.
+TEST(FailureShareTest, SimulatedMixTracksTable7) {
+  const ExperimentRun run = RunExperiment(ExperimentConfig::BenchScale(3));
+  const auto report = ValidateFailureShares(run.result.jobs);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GT(report.attempts_checked, 0);
+}
+
+// The calibrated machine-fault process is rare enough that it must not push
+// any published reason outside tolerance.
+TEST(FailureShareTest, CalibratedFaultsDoNotDistortTheMix) {
+  ExperimentConfig config = ExperimentConfig::BenchScale(3);
+  config.simulation.fault = FaultProcessConfig::Calibrated();
+  const ExperimentRun run = RunExperiment(config);
+  const auto report = ValidateFailureShares(run.result.jobs);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+// Sanity of the check itself: grossly inflating one reason's trial count must
+// trip the tolerance.
+TEST(FailureShareTest, SkewedMixFailsTheCheck) {
+  const ExperimentRun run = RunExperiment(ExperimentConfig::BenchScale(2));
+  std::vector<JobRecord> jobs = run.result.jobs;
+  const JobRecord* failed_job = nullptr;
+  for (const JobRecord& job : jobs) {
+    for (const AttemptRecord& attempt : job.attempts) {
+      if (attempt.failed && !attempt.preempted && !attempt.machine_fault) {
+        failed_job = &job;
+        break;
+      }
+    }
+    if (failed_job != nullptr) {
+      break;
+    }
+  }
+  ASSERT_NE(failed_job, nullptr) << "workload produced no classifiable failure";
+  JobRecord dupe = *failed_job;
+  for (int i = 0; i < 2000; ++i) {
+    dupe.spec.id = 1000000 + i;
+    jobs.push_back(dupe);
+  }
+  EXPECT_FALSE(ValidateFailureShares(jobs).ok());
+}
+
+TEST(FailureShareTest, TooFewTrialsPassVacuously) {
+  const auto report = ValidateFailureShares({});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.attempts_checked, 0);
+}
 
 }  // namespace
 }  // namespace philly

@@ -7,10 +7,11 @@
 //   phillyctl report [--days N] [--seed S] [options]
 //       Run a simulation and print the full analysis without writing files.
 //   phillyctl sweep [--days N] [--seeds S1,S2,...] [--schedulers a,b,...]
-//                   [--threads N] [options]
-//       Run the seeds x schedulers cross product through the parallel
-//       experiment pool and print one summary row per run. --threads
-//       overrides the pool size (default: PHILLY_BENCH_THREADS or hardware
+//                   [--retries p1,p2,...] [--threads N] [options]
+//       Run the schedulers x retry-policies x seeds cross product through the
+//       parallel experiment pool and print one summary row per run.
+//       --retries defaults to the single --retry value; --threads overrides
+//       the pool size (default: PHILLY_BENCH_THREADS or hardware
 //       concurrency); results are identical for any thread count.
 //
 //   Scheduler options (simulate/report; sweep takes all but --scheduler):
@@ -20,6 +21,10 @@
 //     --migration         enable checkpoint-migration defragmentation (§5)
 //     --dedicated         place small jobs on dedicated servers (§5)
 //     --strict-locality   never relax locality constraints
+//     --faults            enable the calibrated machine-fault process
+//                         (node crashes, GPU ECC drains, rack outages)
+//     --checkpoint-mins N periodic-checkpoint period for machine-fault
+//                         recovery (default 0 = restart from scratch)
 //   Output options (simulate):
 //     --format native|philly-traces|both                 (default native)
 //   Input options (analyze):
@@ -44,6 +49,7 @@
 #include "src/core/runner.h"
 #include "src/core/report.h"
 #include "src/core/validate.h"
+#include "src/fault/fault_process.h"
 #include "src/trace/philly_format.h"
 #include "src/trace/trace_io.h"
 
@@ -74,7 +80,8 @@ Args Parse(int argc, char** argv) {
   static const char* kValueKeys[] = {"--days",    "--seed",       "--out",
                                      "--trace",   "--figures",    "--scheduler",
                                      "--retry",   "--format",     "--seeds",
-                                     "--schedulers", "--threads"};
+                                     "--schedulers", "--threads", "--retries",
+                                     "--checkpoint-mins"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     bool takes_value = false;
@@ -119,17 +126,29 @@ bool SchedulerByName(const std::string& name, SchedulerConfig* sched) {
   return true;
 }
 
+bool RetryByName(const std::string& name, SchedulerConfig::RetryPolicyKind* kind) {
+  if (name == "fixed") {
+    *kind = SchedulerConfig::RetryPolicyKind::kFixed;
+  } else if (name == "adaptive") {
+    *kind = SchedulerConfig::RetryPolicyKind::kAdaptive;
+  } else if (name == "predictive") {
+    *kind = SchedulerConfig::RetryPolicyKind::kPredictive;
+  } else {
+    std::fprintf(stderr, "unknown retry policy '%s'\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
 // Applies the options shared by every subcommand (retry policy and the §5
 // mechanism flags) on top of an already-selected scheduler preset.
 bool ApplyCommonSchedulerOptions(const Args& args, SchedulerConfig* sched) {
-  const std::string retry = args.Get("--retry", "fixed");
-  if (retry == "adaptive") {
-    sched->retry_policy = SchedulerConfig::RetryPolicyKind::kAdaptive;
-  } else if (retry == "predictive") {
-    sched->retry_policy = SchedulerConfig::RetryPolicyKind::kPredictive;
-  } else if (retry != "fixed") {
-    std::fprintf(stderr, "unknown retry policy '%s'\n", retry.c_str());
+  if (!RetryByName(args.Get("--retry", "fixed"), &sched->retry_policy)) {
     return false;
+  }
+  const int checkpoint_mins = args.GetInt("--checkpoint-mins", 0);
+  if (checkpoint_mins > 0) {
+    sched->checkpoint_period = Minutes(checkpoint_mins);
   }
   sched->enable_prerun_pool = args.Has("--prerun");
   sched->enable_migration = args.Has("--migration");
@@ -240,6 +259,17 @@ void PrintReport(const std::vector<JobRecord>& jobs, const SimulationResult* sim
               f_table.Render().c_str(), static_cast<long long>(failures.total_trials),
               FormatPercent(failures.unsuccessful_rate_all, 1).c_str(),
               failures.mean_retries_all);
+
+  if (sim != nullptr && sim->machine_faults_injected > 0) {
+    std::printf(
+        "\n=== Machine faults ===\n"
+        "%lld fault events; %lld server-downs; %lld attempts killed; "
+        "%.1f GPU-hours lost\n",
+        static_cast<long long>(sim->machine_faults_injected),
+        static_cast<long long>(sim->machine_fault_server_downs),
+        static_cast<long long>(sim->machine_fault_kills),
+        sim->machine_fault_lost_gpu_seconds / 3600.0);
+  }
 }
 
 void ExportFigures(const std::vector<JobRecord>& jobs, const std::string& dir) {
@@ -270,6 +300,9 @@ int RunSimulateOrReport(const Args& args, bool write_output) {
                                    static_cast<uint64_t>(args.GetInt("--seed", 42)));
   if (!ApplySchedulerOptions(args, &config.simulation.scheduler)) {
     return 2;
+  }
+  if (args.Has("--faults")) {
+    config.simulation.fault = FaultProcessConfig::Calibrated();
   }
   std::printf("simulating %d days (seed %d, scheduler %s)...\n",
               args.GetInt("--days", 10), args.GetInt("--seed", 42),
@@ -373,9 +406,10 @@ std::vector<std::string> SplitCsv(const std::string& list) {
   return out;
 }
 
-// Runs the seeds x schedulers cross product through the experiment pool and
-// prints one summary row per run. Rows come out in (scheduler, seed) order no
-// matter how many worker threads execute the simulations.
+// Runs the schedulers x retry-policies x seeds cross product through the
+// experiment pool and prints one summary row per run. Rows come out in
+// (scheduler, retry, seed) order no matter how many worker threads execute
+// the simulations.
 int RunSweep(const Args& args) {
   std::vector<uint64_t> seeds;
   for (const std::string& token : SplitCsv(args.Get("--seeds", "42"))) {
@@ -391,8 +425,14 @@ int RunSweep(const Args& args) {
   }
   const std::vector<std::string> scheduler_names =
       SplitCsv(args.Get("--schedulers", "philly"));
-  if (seeds.empty() || scheduler_names.empty()) {
-    std::fprintf(stderr, "sweep needs at least one seed and one scheduler\n");
+  // Third sweep dimension: retry policies. Defaults to the single --retry
+  // value so `sweep --retry adaptive` keeps working unchanged.
+  const std::vector<std::string> retry_names =
+      SplitCsv(args.Get("--retries", args.Get("--retry", "fixed")));
+  if (seeds.empty() || scheduler_names.empty() || retry_names.empty()) {
+    std::fprintf(stderr,
+                 "sweep needs at least one seed, one scheduler, and one "
+                 "retry policy\n");
     return 2;
   }
 
@@ -404,39 +444,52 @@ int RunSweep(const Args& args) {
         !ApplyCommonSchedulerOptions(args, &sched)) {
       return 2;
     }
-    for (const uint64_t seed : seeds) {
-      ExperimentConfig config = ExperimentConfig::BenchScale(days, seed);
-      config.simulation.scheduler = sched;
-      configs.push_back(std::move(config));
+    for (const std::string& retry : retry_names) {
+      SchedulerConfig variant = sched;
+      if (!RetryByName(retry, &variant.retry_policy)) {
+        return 2;
+      }
+      for (const uint64_t seed : seeds) {
+        ExperimentConfig config = ExperimentConfig::BenchScale(days, seed);
+        config.simulation.scheduler = variant;
+        if (args.Has("--faults")) {
+          config.simulation.fault = FaultProcessConfig::Calibrated();
+        }
+        configs.push_back(std::move(config));
+      }
     }
   }
 
   const ExperimentPool pool(args.GetInt("--threads", 0));
-  std::printf("sweeping %zu scheduler(s) x %zu seed(s) over %d days on %d "
-              "worker thread(s)...\n\n",
-              scheduler_names.size(), seeds.size(), days, pool.num_threads());
+  std::printf("sweeping %zu scheduler(s) x %zu retry policy(ies) x %zu "
+              "seed(s) over %d days on %d worker thread(s)...\n\n",
+              scheduler_names.size(), retry_names.size(), seeds.size(), days,
+              pool.num_threads());
   const std::vector<ExperimentRun> runs = pool.RunMany(std::move(configs));
 
-  TextTable table({"scheduler", "seed", "jobs", "passed %", "mean queue (min)",
-                   "mean util (%)", "preemptions"});
+  TextTable table({"scheduler", "retry", "seed", "jobs", "passed %",
+                   "mean queue (min)", "mean util (%)", "preemptions"});
   for (size_t s = 0; s < scheduler_names.size(); ++s) {
-    for (size_t k = 0; k < seeds.size(); ++k) {
-      const ExperimentRun& run = runs[s * seeds.size() + k];
-      const auto status = AnalyzeStatus(run.result.jobs);
-      double queue_sum = 0.0;
-      for (const auto& job : run.result.jobs) {
-        queue_sum += ToMinutes(job.InitialQueueDelay());
+    for (size_t r = 0; r < retry_names.size(); ++r) {
+      for (size_t k = 0; k < seeds.size(); ++k) {
+        const ExperimentRun& run =
+            runs[(s * retry_names.size() + r) * seeds.size() + k];
+        const auto status = AnalyzeStatus(run.result.jobs);
+        double queue_sum = 0.0;
+        for (const auto& job : run.result.jobs) {
+          queue_sum += ToMinutes(job.InitialQueueDelay());
+        }
+        const double mean_queue =
+            run.result.jobs.empty()
+                ? 0.0
+                : queue_sum / static_cast<double>(run.result.jobs.size());
+        table.AddRow({scheduler_names[s], retry_names[r], std::to_string(seeds[k]),
+                      std::to_string(run.num_jobs),
+                      FormatPercent(status.by_status[0].count_share, 1),
+                      FormatDouble(mean_queue, 2),
+                      FormatDouble(AnalyzeUtilization(run.result.jobs).all.Mean(), 1),
+                      std::to_string(run.result.preemptions)});
       }
-      const double mean_queue =
-          run.result.jobs.empty()
-              ? 0.0
-              : queue_sum / static_cast<double>(run.result.jobs.size());
-      table.AddRow({scheduler_names[s], std::to_string(seeds[k]),
-                    std::to_string(run.num_jobs),
-                    FormatPercent(status.by_status[0].count_share, 1),
-                    FormatDouble(mean_queue, 2),
-                    FormatDouble(AnalyzeUtilization(run.result.jobs).all.Mean(), 1),
-                    std::to_string(run.result.preemptions)});
     }
   }
   std::printf("%s\n", table.Render().c_str());
