@@ -9,6 +9,9 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/failure/failure_logs.h"
+#include "src/obs/event_log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_profiler.h"
 #include "src/sched/placement.h"
 #include "src/core/analysis.h"
 #include "src/sched/simulation.h"
@@ -162,6 +165,48 @@ void BM_EndToEndSimulation(benchmark::State& state) {
   state.SetLabel(std::to_string(jobs.size()) + " jobs");
 }
 BENCHMARK(BM_EndToEndSimulation)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Same simulation with observability sinks attached. The second argument is
+// a sink mask (1 = event log, 2 = metrics, 4 = phase profiler) so each
+// sink's cost is measurable against BM_EndToEndSimulation on its own; the
+// per-sink budget is < ~5%. The sinks live outside the loop, mirroring real
+// usage (metrics/profiler are long-lived and shared across a sweep's runs;
+// the per-run event log is drained and cleared between runs), so the
+// measurement captures steady-state append cost rather than first-touch
+// page faults on a cold buffer every iteration.
+void BM_EndToEndSimulationObserved(benchmark::State& state) {
+  const int days = static_cast<int>(state.range(0));
+  const int sinks = static_cast<int>(state.range(1));
+  WorkloadConfig workload = WorkloadConfig::Scaled(days, 3);
+  const auto jobs = WorkloadGenerator(workload).Generate();
+  EventLog event_log;
+  MetricsRegistry metrics;
+  TraceProfiler profiler;
+  for (auto _ : state) {
+    event_log.Clear();
+    SimulationConfig config;
+    config.vcs = workload.vcs;
+    if ((sinks & 1) != 0) config.obs.event_log = &event_log;
+    if ((sinks & 2) != 0) config.obs.metrics = &metrics;
+    if ((sinks & 4) != 0) config.obs.profiler = &profiler;
+    ClusterSimulation sim(config, jobs);
+    benchmark::DoNotOptimize(sim.Run().jobs.size());
+    benchmark::DoNotOptimize(event_log.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(jobs.size()));
+  std::string label = std::to_string(jobs.size()) + " jobs, sinks:";
+  if ((sinks & 1) != 0) label += " events";
+  if ((sinks & 2) != 0) label += " metrics";
+  if ((sinks & 4) != 0) label += " profiler";
+  state.SetLabel(label);
+}
+BENCHMARK(BM_EndToEndSimulationObserved)
+    ->Args({1, 1})  // event log only
+    ->Args({1, 2})  // metrics only
+    ->Args({1, 4})  // phase profiler only
+    ->Args({1, 7})  // everything at once
+    ->Args({4, 7})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace philly

@@ -2,8 +2,52 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
+
+#include "src/common/strings.h"
 
 namespace philly {
+namespace {
+
+// Full-field integer parse; rejects empty fields and trailing garbage.
+bool ParsePlacementInt(std::string_view s, int64_t* out) {
+  const auto result = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return result.ec == std::errc() && result.ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+std::string EncodePlacement(const Placement& placement) {
+  std::string out;
+  for (size_t i = 0; i < placement.shards.size(); ++i) {
+    if (i > 0) {
+      out += '|';
+    }
+    out += std::to_string(placement.shards[i].server);
+    out += ':';
+    out += std::to_string(placement.shards[i].gpus);
+  }
+  return out;
+}
+
+Placement DecodePlacement(std::string_view text) {
+  Placement placement;
+  if (text.empty()) {
+    return placement;
+  }
+  for (std::string_view part : Split(text, '|')) {
+    const auto fields = Split(part, ':');
+    int64_t server = 0;
+    int64_t gpus = 0;
+    if (fields.size() != 2 || !ParsePlacementInt(fields[0], &server) ||
+        !ParsePlacementInt(fields[1], &gpus)) {
+      continue;
+    }
+    placement.shards.push_back(
+        {static_cast<ServerId>(server), static_cast<int>(gpus)});
+  }
+  return placement;
+}
 
 ClusterConfig ClusterConfig::PaperScale() {
   // "The cluster has 2 server SKUs – one with 2 GPUs per server and another

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +63,11 @@ struct Placement {
   int NumServers() const { return static_cast<int>(shards.size()); }
   bool Empty() const { return shards.empty(); }
 };
+
+// Placement <-> "server:gpus|server:gpus" encoding shared by attempts.csv and
+// the scheduler event log.
+std::string EncodePlacement(const Placement& placement);
+Placement DecodePlacement(std::string_view text);
 
 class Cluster {
  public:

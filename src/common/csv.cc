@@ -68,14 +68,48 @@ std::vector<std::string> ParseCsvLine(std::string_view line) {
   return fields;
 }
 
+namespace {
+
+// True if `text` has an odd number of quotes, i.e. a quoted field is still
+// open at the end of the physical line. Doubled quotes toggle twice and
+// cancel out, so simple parity is exact for RFC-4180 quoting.
+bool EndsInsideQuotes(std::string_view text) {
+  bool in_quotes = false;
+  for (char c : text) {
+    if (c == '"') {
+      in_quotes = !in_quotes;
+    }
+  }
+  return in_quotes;
+}
+
+}  // namespace
+
 std::vector<std::vector<std::string>> ReadCsv(std::istream& in) {
   std::vector<std::vector<std::string>> rows;
   std::string line;
+  std::string record;
+  bool in_record = false;
   while (std::getline(in, line)) {
-    if (line.empty()) {
-      continue;
+    if (!in_record) {
+      if (line.empty()) {
+        continue;  // blank lines separate records; inside quotes they are data
+      }
+      record = line;
+    } else {
+      record += '\n';
+      record += line;
     }
-    rows.push_back(ParseCsvLine(line));
+    in_record = EndsInsideQuotes(record);
+    if (!in_record) {
+      rows.push_back(ParseCsvLine(record));
+      record.clear();
+    }
+  }
+  if (in_record) {
+    // EOF with an unterminated quote: salvage what accumulated rather than
+    // silently dropping the record.
+    rows.push_back(ParseCsvLine(record));
   }
   return rows;
 }

@@ -43,11 +43,13 @@ class CsvWriter {
   std::ostream& out_;
 };
 
-// Parses one CSV line into fields (handles quoting; no embedded newlines).
+// Parses one CSV record into fields (handles quoting; the record may contain
+// embedded newlines inside quoted fields — ReadCsv passes those through).
 std::vector<std::string> ParseCsvLine(std::string_view line);
 
-// Reads all rows of an istream. First row is returned as-is (callers decide
-// whether it is a header).
+// Reads all records of an istream. A record spans physical lines when a
+// quoted field contains newlines. First record is returned as-is (callers
+// decide whether it is a header). Blank lines between records are skipped.
 std::vector<std::vector<std::string>> ReadCsv(std::istream& in);
 
 }  // namespace philly

@@ -27,6 +27,10 @@ std::string FormatDouble(double v, int digits = 2);
 // Formats a fraction in [0,1] as a percentage string, e.g. 0.123 -> "12.3%".
 std::string FormatPercent(double fraction, int digits = 1);
 
+// Escapes `s` for use inside a double-quoted JSON string (no surrounding
+// quotes added).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace philly
 
 #endif  // SRC_COMMON_STRINGS_H_

@@ -1,0 +1,36 @@
+// Rebuilds simulation results from the scheduler event stream alone.
+//
+// The paper's pipeline works from logs, not from the scheduler's memory: its
+// analyses join the YARN scheduler log with framework and telemetry streams.
+// JoinSchedulerEvents is that join for our event log — it replays an NDJSON
+// scheduler stream (src/obs/event_log.h) into JobRecords and decision
+// counters, so Fig. 3 queueing-delay CDFs and the Table 2 delay-cause split
+// can be recomputed without the original SimulationResult. Round-trip tests
+// assert the rebuilt records agree with the native ones.
+//
+// Not reconstructible from scheduler events (left at defaults): utilization
+// segments and executed-epoch counts (telemetry/framework streams), log
+// tails, occupancy snapshots, and cluster-level fault tallies other than
+// kills/lost GPU-time.
+
+#ifndef SRC_CORE_EVENT_JOIN_H_
+#define SRC_CORE_EVENT_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/event_log.h"
+#include "src/sched/records.h"
+
+namespace philly {
+
+// Replays `events` (in stream order) into a SimulationResult. Malformed
+// streams — an event for a job never submitted, an attempt index that does
+// not match — are reported through *error (first problem wins); the join
+// still returns everything it could rebuild.
+SimulationResult JoinSchedulerEvents(const std::vector<SchedEvent>& events,
+                                     std::string* error = nullptr);
+
+}  // namespace philly
+
+#endif  // SRC_CORE_EVENT_JOIN_H_

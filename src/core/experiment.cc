@@ -1,5 +1,10 @@
 #include "src/core/experiment.h"
 
+#include <chrono>
+#include <vector>
+
+#include "src/obs/trace_profiler.h"
+
 namespace philly {
 
 ExperimentConfig ExperimentConfig::PaperScale(uint64_t seed) {
@@ -18,13 +23,36 @@ ExperimentConfig ExperimentConfig::BenchScale(int days, uint64_t seed) {
 }
 
 ExperimentRun RunExperiment(const ExperimentConfig& config) {
-  WorkloadGenerator generator(config.workload);
-  auto jobs = generator.Generate();
+  const ObservabilityConfig& obs = config.simulation.obs;
+  ScopedTimer experiment_timer(obs.profiler, "experiment");
+  std::vector<JobSpec> jobs;
+  {
+    ScopedTimer generate_timer(obs.profiler, "generate");
+    WorkloadGenerator generator(config.workload);
+    jobs = generator.Generate();
+  }
   ExperimentRun run;
   run.config = config;
   run.num_jobs = static_cast<int64_t>(jobs.size());
   ClusterSimulation sim(config.simulation, std::move(jobs));
-  run.result = sim.Run();
+  {
+    ScopedTimer simulate_timer(obs.profiler, "simulate");
+    if (obs.metrics != nullptr) {
+      const auto wall_start = std::chrono::steady_clock::now();
+      run.result = sim.Run();
+      const double wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+      if (wall_seconds > 0.0) {
+        obs.metrics->GetHistogram("sim.events_per_sec")
+            ->Observe(static_cast<double>(run.result.sim_events_processed) /
+                      wall_seconds);
+      }
+    } else {
+      run.result = sim.Run();
+    }
+  }
   return run;
 }
 

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 namespace philly {
@@ -120,6 +121,23 @@ void ExperimentPool::ParallelFor(int n, const std::function<void(int)>& fn) cons
 
 std::vector<ExperimentRun> ExperimentPool::RunMany(
     std::vector<ExperimentConfig> configs) const {
+  // Shared metrics/profiler sinks are thread-safe and may appear in every
+  // config, but an EventLog belongs to exactly one run: concurrent appends
+  // from two simulations would interleave (and race). Catch the misuse before
+  // it corrupts a stream.
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const EventLog* log = configs[i].simulation.obs.event_log;
+    if (log == nullptr) {
+      continue;
+    }
+    for (size_t j = i + 1; j < configs.size(); ++j) {
+      if (configs[j].simulation.obs.event_log == log) {
+        throw std::invalid_argument(
+            "ExperimentPool::RunMany: the same EventLog is attached to more "
+            "than one config; event logs are per-run");
+      }
+    }
+  }
   std::vector<ExperimentRun> runs(configs.size());
   ParallelFor(static_cast<int>(configs.size()), [&](int i) {
     runs[static_cast<size_t>(i)] =

@@ -1,0 +1,134 @@
+// Structured scheduler event stream — the YARN-scheduler-log analogue of the
+// paper's log join (§3). The simulation's in-memory records already carry the
+// framework (stdout) and telemetry streams; the EventLog adds the missing
+// scheduler-decision stream so analyses can be rebuilt from logs alone, the
+// way the paper's pipeline joins its three sources.
+//
+// One SchedEvent per scheduler decision, appended in simulation callback
+// order (which is deterministic), serialized as NDJSON: one JSON object per
+// line with a fixed key order, so two runs of the same config produce
+// byte-identical streams regardless of thread count.
+//
+// The log is intentionally NOT thread-safe: one EventLog belongs to exactly
+// one simulation run. Cross-run aggregation belongs in MetricsRegistry.
+
+#ifndef SRC_OBS_EVENT_LOG_H_
+#define SRC_OBS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/sim_time.h"
+
+namespace philly {
+
+// The scheduler decision vocabulary. Every kind maps 1:1 to a stable NDJSON
+// `ev` tag (see ToString); new kinds must be appended to keep tags stable.
+enum class SchedEventKind {
+  kSubmit,         // job arrived at the scheduler
+  kQueued,         // job entered its VC queue
+  kLocalityRelax,  // waiting job's placement constraint was relaxed a level
+  kBackoff,        // a pass left jobs waiting; next pass delayed by `delay`
+  kSchedule,       // attempt started (detail: pass | migrate | prerun)
+  kPreempt,        // attempt stopped for another job (detail: fairshare |
+                   // priority | timeslice)
+  kMigrate,        // attempt suspended by the defragmentation pass
+  kFaultKill,      // attempt killed by a machine fault (detail: reason)
+  kRequeue,        // job re-entered its VC queue after an attempt ended
+  kComplete,       // job reached a final status
+};
+
+inline constexpr int kNumSchedEventKinds = 10;
+
+std::string_view ToString(SchedEventKind kind);
+bool SchedEventKindFromString(std::string_view text, SchedEventKind* kind);
+
+// One scheduler decision. Only the fields relevant to `kind` are meaningful;
+// the rest keep their defaults and are omitted from the NDJSON encoding.
+struct SchedEvent {
+  SimTime time = 0;
+  SchedEventKind kind = SchedEventKind::kSubmit;
+  JobId job = kNoJob;  // kNoJob for cluster-level events (backoff)
+  int32_t vc = -1;
+  int32_t user = -1;
+  int gpus = 0;
+  int attempt = -1;  // attempt index for schedule/preempt/requeue/complete
+
+  // kSchedule: the wait record this start closed, plus decision context.
+  SimTime ready_time = 0;
+  SimDuration wait = 0;
+  SimDuration fair_share_time = 0;
+  SimDuration fragmentation_time = 0;
+  int sched_attempts = 0;       // failed placement evaluations in the wait
+  bool out_of_order = false;    // started while an earlier job waited
+  bool benign = false;          // the overtaken job's opportunity survived
+  std::string placement;        // EncodePlacement of the gang
+
+  // kRequeue/kComplete: state of the attempt the event closes.
+  bool failed = false;
+  bool preempted = false;
+  bool machine_fault = false;
+
+  // kComplete: final status (JobStatus as int; -1 = not a completion) and the
+  // job-level out-of-order flags the record accumulated.
+  int status = -1;
+  bool started_out_of_order = false;
+  bool out_of_order_benign = false;
+  bool overtaken = false;
+
+  // kLocalityRelax / kBackoff.
+  int relax_level = 0;
+  SimDuration delay = 0;
+
+  // kFaultKill: GPU-seconds thrown away by this kill.
+  double lost_gpu_seconds = 0.0;
+
+  // Kind-specific tag: schedule source ("pass" | "migrate" | "prerun"),
+  // preemption mode ("fairshare" | "priority" | "timeslice"), or the
+  // fault-kill failure reason.
+  std::string detail;
+};
+
+class EventLog {
+ public:
+  // Appends and returns a new event for the caller to fill in.
+  SchedEvent& Append(SchedEventKind kind, SimTime time, JobId job);
+
+  // Pre-sizes the stream. Growth reallocations move every buffered event
+  // (~176 bytes each), which dominates append cost on hot paths; the
+  // simulation reserves an events-per-job estimate up front.
+  void Reserve(size_t n) { events_.reserve(n); }
+
+  // Drops buffered events but keeps capacity, so one log can be reused
+  // across sequential runs (write the stream out, clear, run again) without
+  // re-faulting its buffer. A log still belongs to one run at a time.
+  void Clear() { events_.clear(); }
+
+  const std::vector<SchedEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  // One JSON object per line, fixed key order, default-valued fields omitted.
+  void WriteNdjson(std::ostream& out) const;
+
+  // Parses a stream written by WriteNdjson. Stops at the first malformed
+  // line and reports it via *error (error stays empty on success).
+  static std::vector<SchedEvent> ReadNdjson(std::istream& in,
+                                            std::string* error = nullptr);
+
+ private:
+  std::vector<SchedEvent> events_;
+};
+
+// Serialization of a single event (the NDJSON line, without the newline).
+std::string ToNdjsonLine(const SchedEvent& event);
+bool SchedEventFromNdjsonLine(std::string_view line, SchedEvent* event,
+                              std::string* error);
+
+}  // namespace philly
+
+#endif  // SRC_OBS_EVENT_LOG_H_

@@ -1,0 +1,220 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+namespace philly {
+namespace {
+
+void UpdateAtomicMin(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void UpdateAtomicMax(std::atomic<double>* target, double v) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void WriteJsonNumber(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << 0;
+    return;
+  }
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    out << static_cast<int64_t>(v);
+    return;
+  }
+  out << v;
+}
+
+}  // namespace
+
+// Buckets cover [2^-10, 2^53): bucket i holds values with upper bound
+// 2^(i - 10). Values below 2^-10 land in bucket 0, values at or above the
+// last bound in bucket kNumBuckets - 1.
+int Histogram::BucketFor(double v) {
+  if (!(v > 0.0)) {
+    return 0;
+  }
+  const int exponent = std::ilogb(v);
+  const int bucket = exponent + 11;  // value < 2^(bucket - 10)
+  return std::clamp(bucket, 0, kNumBuckets - 1);
+}
+
+double Histogram::BucketUpperBound(int bucket) {
+  return std::ldexp(1.0, bucket - 10);
+}
+
+void Histogram::Observe(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  UpdateAtomicMin(&min_, v);
+  UpdateAtomicMax(&max_, v);
+  buckets_[static_cast<size_t>(BucketFor(v))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const int64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  const int64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(n);
+  double seen = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const auto in_bucket = static_cast<double>(
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) {
+      continue;
+    }
+    if (seen + in_bucket >= rank) {
+      const double lower = i == 0 ? 0.0 : BucketUpperBound(i - 1);
+      const double upper = BucketUpperBound(i);
+      const double fraction = (rank - seen) / in_bucket;
+      const double estimate = lower + fraction * (upper - lower);
+      return std::clamp(estimate, min(), max());
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  const int64_t n = other.count();
+  if (n == 0) {
+    return;
+  }
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  UpdateAtomicMin(&min_, other.min_.load(std::memory_order_relaxed));
+  UpdateAtomicMax(&max_, other.max_.load(std::memory_order_relaxed));
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t b =
+        other.buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (b != 0) {
+      buckets_[static_cast<size_t>(i)].fetch_add(b, std::memory_order_relaxed);
+    }
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // Snapshot the other registry's instrument pointers under its lock, then
+  // fold them in through the public lookup path (which takes our own lock).
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    for (const auto& [name, counter] : other.counters_) {
+      counters.emplace_back(name, counter.get());
+    }
+    for (const auto& [name, gauge] : other.gauges_) {
+      gauges.emplace_back(name, gauge.get());
+    }
+    for (const auto& [name, histogram] : other.histograms_) {
+      histograms.emplace_back(name, histogram.get());
+    }
+  }
+  for (const auto& [name, counter] : counters) {
+    GetCounter(name)->Increment(counter->value());
+  }
+  for (const auto& [name, gauge] : gauges) {
+    GetGauge(name)->Add(gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms) {
+    GetHistogram(name)->MergeFrom(*histogram);
+  }
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << counter->value();
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": ";
+    WriteJsonNumber(out, gauge->value());
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": "
+        << histogram->count() << ", \"sum\": ";
+    WriteJsonNumber(out, histogram->sum());
+    out << ", \"min\": ";
+    WriteJsonNumber(out, histogram->min());
+    out << ", \"max\": ";
+    WriteJsonNumber(out, histogram->max());
+    out << ", \"mean\": ";
+    WriteJsonNumber(out, histogram->mean());
+    out << ", \"p50\": ";
+    WriteJsonNumber(out, histogram->Quantile(0.5));
+    out << ", \"p90\": ";
+    WriteJsonNumber(out, histogram->Quantile(0.9));
+    out << ", \"p99\": ";
+    WriteJsonNumber(out, histogram->Quantile(0.99));
+    out << "}";
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+}  // namespace philly

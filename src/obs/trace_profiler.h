@@ -1,0 +1,95 @@
+// Wall-clock phase profiling as Chrome trace events.
+//
+// ScopedTimer records one complete ("ph":"X") slice per scope into a shared
+// TraceProfiler; WriteChromeTrace emits the Chrome trace-event JSON format,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Slices measure
+// host wall time, not simulated time — this is for finding where a run
+// spends real seconds (generation vs. scheduler passes vs. analysis), not
+// for simulation semantics.
+//
+// The profiler is thread-safe so ExperimentPool workers can share one; each
+// host thread gets its own trace-track (tid) assigned on first use. A null
+// profiler disables timing entirely: ScopedTimer(nullptr, ...) never reads
+// the clock.
+
+#ifndef SRC_OBS_TRACE_PROFILER_H_
+#define SRC_OBS_TRACE_PROFILER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace philly {
+
+class TraceProfiler {
+ public:
+  TraceProfiler() : epoch_(std::chrono::steady_clock::now()) {}
+
+  // Appends one complete slice on the calling thread's track. `ts_us` is
+  // microseconds since the profiler's construction.
+  void RecordSlice(std::string_view name, int64_t ts_us, int64_t dur_us);
+
+  // Microseconds elapsed since the profiler was constructed.
+  int64_t NowMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  size_t size() const;
+
+  // {"traceEvents": [...]} — the Chrome trace-event JSON format.
+  void WriteChromeTrace(std::ostream& out) const;
+
+ private:
+  struct Slice {
+    std::string name;
+    int64_t ts_us = 0;
+    int64_t dur_us = 0;
+    int tid = 0;
+  };
+
+  int TrackForThisThreadLocked();
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Slice> slices_;
+  std::vector<std::thread::id> tracks_;
+};
+
+// RAII slice: times its own lifetime and records it on destruction. With a
+// null profiler this is a no-op (and costs no clock reads), which is how
+// phase tracing stays free when observability is off.
+class ScopedTimer {
+ public:
+  ScopedTimer(TraceProfiler* profiler, std::string_view name)
+      : profiler_(profiler) {
+    if (profiler_ != nullptr) {
+      name_ = name;
+      start_us_ = profiler_->NowMicros();
+    }
+  }
+
+  ~ScopedTimer() {
+    if (profiler_ != nullptr) {
+      profiler_->RecordSlice(name_, start_us_, profiler_->NowMicros() - start_us_);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TraceProfiler* profiler_;
+  std::string name_;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace philly
+
+#endif  // SRC_OBS_TRACE_PROFILER_H_

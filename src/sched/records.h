@@ -165,6 +165,10 @@ struct SimulationResult {
   // GPU-seconds thrown away by faults: work past the last checkpoint plus the
   // undetected dead window between fault and detection.
   double machine_fault_lost_gpu_seconds = 0.0;
+
+  // Discrete events the simulator processed for this run (engine throughput
+  // denominator for events/sec reporting; not a scheduler statistic).
+  int64_t sim_events_processed = 0;
 };
 
 }  // namespace philly

@@ -90,6 +90,49 @@ ClusterSimulation::ClusterSimulation(SimulationConfig config, std::vector<JobSpe
     job_index_.emplace(spec.id, jobs_.size());
     jobs_.push_back(std::move(state));
   }
+
+  if (EventLog* log = config_.obs.event_log; log != nullptr) {
+    // ~5 events/job in practice (submit/queued/schedule/complete + retries
+    // and backoffs); reserving avoids growth reallocations that would
+    // otherwise dominate append cost.
+    log->Reserve(jobs_.size() * 6);
+  }
+  if (MetricsRegistry* metrics = config_.obs.metrics; metrics != nullptr) {
+    queue_delay_hist_ = metrics->GetHistogram("sched.queue_delay_minutes");
+    fair_share_wait_hist_ = metrics->GetHistogram("sched.wait.fair_share_minutes");
+    fragmentation_wait_hist_ =
+        metrics->GetHistogram("sched.wait.fragmentation_minutes");
+    fair_share_evals_ = metrics->GetCounter("sched.eval_failure.fair_share");
+    fragmentation_evals_ = metrics->GetCounter("sched.eval_failure.fragmentation");
+    decisions_metric_ = metrics->GetCounter("sched.decisions");
+    preemptions_metric_ = metrics->GetCounter("sched.preemptions");
+    migrations_metric_ = metrics->GetCounter("sched.migrations");
+    fault_kills_metric_ = metrics->GetCounter("fault.kills");
+    lost_gpu_metric_ = metrics->GetGauge("fault.lost_gpu_seconds");
+    occupancy_metric_ = metrics->GetGauge("cluster.occupancy");
+  }
+}
+
+SchedEvent* ClusterSimulation::EmitEvent(SchedEventKind kind, const JobState* job) {
+  if (config_.obs.event_log == nullptr) {
+    return nullptr;
+  }
+  SchedEvent& event = config_.obs.event_log->Append(
+      kind, sim_.Now(), job != nullptr ? job->spec.id : kNoJob);
+  if (job != nullptr) {
+    event.vc = job->spec.vc;
+    event.user = job->spec.user;
+    event.gpus = job->spec.num_gpus;
+  }
+  return &event;
+}
+
+void ClusterSimulation::RecordEvalFailure(DelayCause cause) {
+  if (fair_share_evals_ == nullptr) {
+    return;
+  }
+  (cause == DelayCause::kFairShare ? fair_share_evals_ : fragmentation_evals_)
+      ->Increment();
 }
 
 ClusterSimulation::JobState& ClusterSimulation::StateOf(JobId id) {
@@ -124,6 +167,11 @@ SimulationResult ClusterSimulation::Run() {
   }
   sim_.Run();
 
+  result_.sim_events_processed = static_cast<int64_t>(sim_.ProcessedCount());
+  if (MetricsRegistry* metrics = config_.obs.metrics; metrics != nullptr) {
+    metrics->GetCounter("sim.events_processed")
+        ->Increment(result_.sim_events_processed);
+  }
   result_.jobs.reserve(jobs_.size());
   for (auto& job : jobs_) {
     assert(job.phase == Phase::kDone);
@@ -134,6 +182,7 @@ SimulationResult ClusterSimulation::Run() {
 
 void ClusterSimulation::OnArrival(JobId id) {
   JobState& job = StateOf(id);
+  EmitEvent(SchedEventKind::kSubmit, &job);
   if (job.spec.num_gpus > cluster_.NumGpus()) {
     // Cannot ever be satisfied; reject at submission.
     job.phase = Phase::kRunning;  // FinishJob expects a non-queued phase
@@ -166,6 +215,11 @@ void ClusterSimulation::OnArrival(JobId id) {
     WaitRecord wait;
     wait.ready_time = sim_.Now();
     job.record.waits.push_back(wait);
+    if (SchedEvent* e = EmitEvent(SchedEventKind::kSchedule, &job); e != nullptr) {
+      e->attempt = job.record.attempts.back().index;
+      e->ready_time = sim_.Now();
+      e->detail = "prerun";
+    }
     sim_.ScheduleAfter(duration, [this, id, caught] { OnPrerunEnd(id, caught); });
     return;
   }
@@ -176,7 +230,9 @@ void ClusterSimulation::OnArrival(JobId id) {
   job.eval_failures = 0;
   job.last_eval_time = -1;
   job.last_cause = DelayCause::kNone;
+  job.relax_emitted = 0;
   VcOf(job).queue.push_back(id);
+  EmitEvent(SchedEventKind::kQueued, &job);
   RequestSchedulingPass(0);
 }
 
@@ -294,6 +350,7 @@ double ClusterSimulation::QueueKeyFor(const JobState& job) const {
 }
 
 void ClusterSimulation::SchedulingPass() {
+  ScopedTimer pass_timer(config_.obs.profiler, "scheduling_pass");
   // Fair share: serve VCs in increasing order of quota usage ratio.
   std::vector<size_t> vc_order(vcs_.size());
   for (size_t i = 0; i < vcs_.size(); ++i) {
@@ -346,15 +403,25 @@ void ClusterSimulation::SchedulingPass() {
       }
       JobState& job = StateOf(id);
       const int level = RelaxLevelFor(job);
+      if (level > job.relax_emitted) {
+        job.relax_emitted = level;
+        if (SchedEvent* e = EmitEvent(SchedEventKind::kLocalityRelax, &job);
+            e != nullptr) {
+          e->relax_level = level;
+        }
+      }
       if (freeing_actions() != freeing_actions_seen) {
         failed_demand_at_level.fill(INT32_MAX);
         freeing_actions_seen = freeing_actions();
       }
       if (job.spec.num_gpus >= failed_demand_at_level[static_cast<size_t>(level)]) {
         // A smaller-or-equal request already failed at this level this pass.
-        AttributeWaitTime(job, VcOf(job).used_gpus >= VcOf(job).config.quota_gpus
-                                   ? DelayCause::kFairShare
-                                   : DelayCause::kFragmentation);
+        const DelayCause cause =
+            VcOf(job).used_gpus >= VcOf(job).config.quota_gpus
+                ? DelayCause::kFairShare
+                : DelayCause::kFragmentation;
+        AttributeWaitTime(job, cause);
+        RecordEvalFailure(cause);
         ++job.eval_failures;
         any_waiting = true;
         earlier_waiting = true;
@@ -392,6 +459,9 @@ void ClusterSimulation::SchedulingPass() {
     }
   }
   if (any_waiting) {
+    if (SchedEvent* e = EmitEvent(SchedEventKind::kBackoff, nullptr); e != nullptr) {
+      e->delay = config_.scheduler.sched_backoff;
+    }
     RequestSchedulingPass(config_.scheduler.sched_backoff);
   }
 }
@@ -423,8 +493,10 @@ bool ClusterSimulation::TryStartJob(JobState& job, bool earlier_job_waiting,
     }
   }
   if (!placement.has_value()) {
-    AttributeWaitTime(job,
-                      over_quota ? DelayCause::kFairShare : DelayCause::kFragmentation);
+    const DelayCause cause =
+        over_quota ? DelayCause::kFairShare : DelayCause::kFragmentation;
+    AttributeWaitTime(job, cause);
+    RecordEvalFailure(cause);
     ++job.eval_failures;
     return false;
   }
@@ -432,6 +504,9 @@ bool ClusterSimulation::TryStartJob(JobState& job, bool earlier_job_waiting,
   AttributeWaitTime(job, DelayCause::kNone);
 
   ++result_.scheduling_decisions;
+  if (decisions_metric_ != nullptr) {
+    decisions_metric_->Increment();
+  }
   bool benign_pending = false;
   bool before_feasible = false;
   if (earlier_job_waiting) {
@@ -456,6 +531,20 @@ bool ClusterSimulation::TryStartJob(JobState& job, bool earlier_job_waiting,
     if (job.record.out_of_order_benign) {
       ++result_.out_of_order_benign;
     }
+  }
+  if (SchedEvent* e = EmitEvent(SchedEventKind::kSchedule, &job); e != nullptr) {
+    const WaitRecord& wait = job.record.waits.back();
+    const AttemptRecord& attempt = job.record.attempts.back();
+    e->attempt = attempt.index;
+    e->ready_time = wait.ready_time;
+    e->wait = wait.wait;
+    e->fair_share_time = wait.fair_share_time;
+    e->fragmentation_time = wait.fragmentation_time;
+    e->sched_attempts = wait.sched_attempts;
+    e->out_of_order = benign_pending;
+    e->benign = benign_pending && job.record.out_of_order_benign;
+    e->placement = EncodePlacement(attempt.placement);
+    e->detail = "pass";
   }
   return true;
 }
@@ -514,6 +603,10 @@ bool ClusterSimulation::TryPrioritySuspendFor(const JobState& job) {
     return false;
   }
   SuspendAttempt(*victim);
+  if (SchedEvent* e = EmitEvent(SchedEventKind::kPreempt, victim); e != nullptr) {
+    e->attempt = victim->record.attempts.back().index;
+    e->detail = "priority";
+  }
   Requeue(*victim);
   ++result_.priority_preemptions;
   return true;
@@ -525,6 +618,18 @@ void ClusterSimulation::StartAttempt(JobState& job, const Placement& placement) 
   job.wait.wait = now - job.ready_time;
   job.wait.sched_attempts = job.eval_failures;
   job.record.waits.push_back(job.wait);
+  if (queue_delay_hist_ != nullptr) {
+    // First-start delay only: this is the Fig. 3 statistic (InitialQueueDelay).
+    if (job.record.waits.size() == 1) {
+      queue_delay_hist_->Observe(ToMinutes(job.wait.wait));
+    }
+    if (job.wait.fair_share_time > 0) {
+      fair_share_wait_hist_->Observe(ToMinutes(job.wait.fair_share_time));
+    }
+    if (job.wait.fragmentation_time > 0) {
+      fragmentation_wait_hist_->Observe(ToMinutes(job.wait.fragmentation_time));
+    }
+  }
 
   // Remove from the VC queue.
   VcState& vc = VcOf(job);
@@ -750,6 +855,10 @@ void ClusterSimulation::OnQuantumExpired(JobId id) {
 
   // Suspend: Gandiva-style context switch preserves full progress.
   SuspendAttempt(job);
+  if (SchedEvent* e = EmitEvent(SchedEventKind::kPreempt, &job); e != nullptr) {
+    e->attempt = job.record.attempts.back().index;
+    e->detail = "timeslice";
+  }
   job.queue_key = static_cast<double>(sim_.Now());  // go behind the round-robin
   Requeue(job);
   RequestSchedulingPass(0);
@@ -780,6 +889,7 @@ void ClusterSimulation::SuspendAttempt(JobState& job) {
 }
 
 void ClusterSimulation::MigrationPass() {
+  ScopedTimer pass_timer(config_.obs.profiler, "migration_pass");
   // Defragmentation (§5): evacuate the most lightly used servers whose
   // tenants are all small single-server clean jobs, so whole servers open up
   // for gangs that need locality. The evacuated jobs requeue with progress
@@ -837,10 +947,16 @@ void ClusterSimulation::MigrationPass() {
         continue;
       }
       SuspendAttempt(job);
+      if (SchedEvent* e = EmitEvent(SchedEventKind::kMigrate, &job); e != nullptr) {
+        e->attempt = job.record.attempts.back().index;
+      }
       Requeue(job);
       evacuated.push_back(tenant.job);
       ++migrated;
       ++result_.migrations;
+      if (migrations_metric_ != nullptr) {
+        migrations_metric_->Increment();
+      }
     }
     for (JobId id : evacuated) {
       JobState& job = StateOf(id);
@@ -850,6 +966,19 @@ void ClusterSimulation::MigrationPass() {
           !(placement->NumServers() == 1 &&
             placement->shards[0].server == candidate.server)) {
         StartAttempt(job, *placement);
+        if (SchedEvent* e = EmitEvent(SchedEventKind::kSchedule, &job);
+            e != nullptr) {
+          const WaitRecord& wait = job.record.waits.back();
+          const AttemptRecord& attempt = job.record.attempts.back();
+          e->attempt = attempt.index;
+          e->ready_time = wait.ready_time;
+          e->wait = wait.wait;
+          e->fair_share_time = wait.fair_share_time;
+          e->fragmentation_time = wait.fragmentation_time;
+          e->sched_attempts = wait.sched_attempts;
+          e->placement = EncodePlacement(attempt.placement);
+          e->detail = "migrate";
+        }
       }
     }
   }
@@ -892,7 +1021,16 @@ void ClusterSimulation::PreemptJob(JobState& victim) {
   VcOf(victim).used_gpus -= victim.spec.num_gpus;
   RefreshCotenantSegments(attempt.placement, victim.spec.id);
   ++result_.preemptions;
+  if (preemptions_metric_ != nullptr) {
+    preemptions_metric_->Increment();
+  }
   last_preemption_time_ = now;
+  if (SchedEvent* e = EmitEvent(SchedEventKind::kPreempt, &victim); e != nullptr) {
+    e->attempt = attempt.index;
+    e->failed = attempt.failed;
+    e->preempted = attempt.preempted;
+    e->detail = "fairshare";
+  }
   Requeue(victim);
 }
 
@@ -904,7 +1042,17 @@ void ClusterSimulation::Requeue(JobState& job) {
   job.eval_failures = 0;
   job.last_eval_time = -1;
   job.last_cause = DelayCause::kNone;
+  job.relax_emitted = 0;
   VcOf(job).queue.push_back(job.spec.id);
+  if (SchedEvent* e = EmitEvent(SchedEventKind::kRequeue, &job); e != nullptr) {
+    if (!job.record.attempts.empty()) {
+      const AttemptRecord& attempt = job.record.attempts.back();
+      e->attempt = attempt.index;
+      e->failed = attempt.failed;
+      e->preempted = attempt.preempted;
+      e->machine_fault = attempt.machine_fault;
+    }
+  }
 }
 
 void ClusterSimulation::FinishJob(JobState& job, JobStatus status) {
@@ -912,6 +1060,20 @@ void ClusterSimulation::FinishJob(JobState& job, JobStatus status) {
   job.record.status = status;
   job.record.finish_time = sim_.Now();
   ++jobs_done_;
+  if (SchedEvent* e = EmitEvent(SchedEventKind::kComplete, &job); e != nullptr) {
+    e->status = static_cast<int>(status);
+    if (!job.record.attempts.empty()) {
+      const AttemptRecord& attempt = job.record.attempts.back();
+      e->attempt = attempt.index;
+      e->failed = attempt.failed;
+      e->preempted = attempt.preempted;
+      e->machine_fault = attempt.machine_fault;
+    }
+    e->started_out_of_order = job.record.started_out_of_order;
+    e->out_of_order_benign =
+        job.record.started_out_of_order && job.record.out_of_order_benign;
+    e->overtaken = job.record.overtaken;
+  }
 }
 
 void ClusterSimulation::ScheduleNextServerFault(ServerId s, SimTime after) {
@@ -1078,6 +1240,17 @@ void ClusterSimulation::KillAttemptForFault(JobState& job, FailureReason reason,
   }
   result_.machine_fault_lost_gpu_seconds += lost;
   ++result_.machine_fault_kills;
+  if (fault_kills_metric_ != nullptr) {
+    fault_kills_metric_->Increment();
+    lost_gpu_metric_->Add(lost);
+  }
+  if (SchedEvent* e = EmitEvent(SchedEventKind::kFaultKill, &job); e != nullptr) {
+    e->attempt = attempt.index;
+    e->failed = true;
+    e->machine_fault = true;
+    e->lost_gpu_seconds = lost;
+    e->detail = std::string(ToString(reason));
+  }
 
   cluster_.Release(job.spec.id);
   VcOf(job).used_gpus -= job.spec.num_gpus;
@@ -1100,6 +1273,9 @@ void ClusterSimulation::TakeSnapshot() {
   snap.offline_servers = cluster_.NumOfflineServers();
   snap.machine_fault_kills_total = result_.machine_fault_kills;
   snap.machine_fault_lost_gpu_seconds_total = result_.machine_fault_lost_gpu_seconds;
+  if (occupancy_metric_ != nullptr) {
+    occupancy_metric_->Set(snap.occupancy);
+  }
   result_.occupancy_snapshots.push_back(snap);
   if (jobs_done_ < static_cast<int>(jobs_.size())) {
     sim_.ScheduleAfter(config_.snapshot_period, [this] { TakeSnapshot(); });

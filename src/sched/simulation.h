@@ -30,6 +30,7 @@
 #include "src/fault/node_health.h"
 #include "src/failure/failure_logs.h"
 #include "src/failure/retry_policy.h"
+#include "src/obs/observability.h"
 #include "src/sched/placement.h"
 #include "src/sched/records.h"
 #include "src/sched/scheduler_config.h"
@@ -51,6 +52,10 @@ struct SimulationConfig {
   std::vector<VcConfig> vcs;
   uint64_t seed = 42;
   SimDuration snapshot_period = Hours(6);
+  // Optional observability sinks (non-owning; all null by default). Sinks
+  // observe scheduler decisions without influencing them: a run with sinks
+  // attached produces byte-identical records to a run without.
+  ObservabilityConfig obs;
 };
 
 class ClusterSimulation {
@@ -76,6 +81,7 @@ class ClusterSimulation {
     int eval_failures = 0;        // failed evaluations in the current wait
     SimTime last_eval_time = -1;  // for cause-time attribution
     DelayCause last_cause = DelayCause::kNone;
+    int relax_emitted = 0;        // highest relax level already event-logged
     double queue_key = 0.0;       // ordering key (policy-dependent)
 
     // Execution state.
@@ -156,6 +162,12 @@ class ClusterSimulation {
   JobState& StateOf(JobId id);
   VcState& VcOf(const JobState& job) { return vcs_[static_cast<size_t>(job.spec.vc)]; }
 
+  // --- observability (no-ops when the corresponding sink is null) ---
+  // Appends an event pre-filled with the job's identity fields; returns null
+  // when event logging is off so hot paths skip payload construction.
+  SchedEvent* EmitEvent(SchedEventKind kind, const JobState* job);
+  void RecordEvalFailure(DelayCause cause);
+
   SimulationConfig config_;
   Simulator sim_;
   Cluster cluster_;
@@ -183,6 +195,19 @@ class ClusterSimulation {
   SimTime last_preemption_time_ = -(1 << 30);
   int prerun_in_use_ = 0;
   int jobs_done_ = 0;
+
+  // Metric handles resolved once at construction (null when metrics are off).
+  Histogram* queue_delay_hist_ = nullptr;
+  Histogram* fair_share_wait_hist_ = nullptr;
+  Histogram* fragmentation_wait_hist_ = nullptr;
+  Counter* fair_share_evals_ = nullptr;
+  Counter* fragmentation_evals_ = nullptr;
+  Counter* decisions_metric_ = nullptr;
+  Counter* preemptions_metric_ = nullptr;
+  Counter* migrations_metric_ = nullptr;
+  Counter* fault_kills_metric_ = nullptr;
+  Gauge* lost_gpu_metric_ = nullptr;
+  Gauge* occupancy_metric_ = nullptr;
 };
 
 }  // namespace philly

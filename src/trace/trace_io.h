@@ -14,8 +14,13 @@
 //   attempts.csv: job_id,attempt,start,end,failed,preempted,placement
 //                 (placement is "server:gpus|server:gpus|...")
 //   gpu_util.csv: job_id,segment,expected_util,duration_s,num_servers
-//   stdout.log:   per-attempt log tails, framed by "=== job <id> attempt <k>"
-//                 markers (the raw text the failure classifier consumes)
+//   stdout.log:   per-attempt log tails, framed by
+//                 "=== job <id> attempt <k> lines <n>" markers followed by
+//                 exactly n verbatim lines (the raw text the failure
+//                 classifier consumes). The length prefix makes the framing
+//                 injection-proof: a log line that itself looks like a frame
+//                 marker survives the round trip. The reader also accepts the
+//                 legacy prefix-free "=== job <id> attempt <k>" framing.
 
 #ifndef SRC_TRACE_TRACE_IO_H_
 #define SRC_TRACE_TRACE_IO_H_
@@ -41,20 +46,33 @@ class TraceWriter {
                              const std::string& directory);
 };
 
+struct TraceReadOptions {
+  // When true, a row containing any unparseable numeric field is rejected
+  // whole instead of keeping the field as 0. Default preserves the tolerant
+  // behavior analyses rely on for hand-edited traces.
+  bool strict = false;
+};
+
+// Tally of what the reader had to tolerate (or, in strict mode, reject).
+struct TraceReadStats {
+  int64_t numeric_parse_errors = 0;  // fields that did not parse cleanly
+  int64_t rows_rejected = 0;         // rows skipped (short, bad id, or strict)
+};
+
 class TraceReader {
  public:
   // Reads the three CSV streams back into JobRecords (specs carry the fields
   // present in the trace; modeling-only spec fields are defaulted). Attempt
-  // log tails are restored from the stdout log.
+  // log tails are restored from the stdout log. Numeric fields that fail to
+  // parse count into *stats (historically they became 0 silently); with
+  // options.strict the whole row is dropped instead.
   static std::vector<JobRecord> ReadJobs(std::istream& jobs_csv,
                                          std::istream& attempts_csv,
                                          std::istream& util_csv,
-                                         std::istream& stdout_log);
+                                         std::istream& stdout_log,
+                                         const TraceReadOptions& options = {},
+                                         TraceReadStats* stats = nullptr);
 };
-
-// Placement <-> "server:gpus|server:gpus" encoding used by attempts.csv.
-std::string EncodePlacement(const Placement& placement);
-Placement DecodePlacement(std::string_view text);
 
 }  // namespace philly
 

@@ -137,6 +137,32 @@ TEST(CsvTest, ReadCsvSkipsBlankLines) {
   EXPECT_EQ(rows[1][1], "2");
 }
 
+// Regression: ReadCsv used to split records on every physical newline, so a
+// quoted field containing '\n' (written legally by CsvWriter) came back as
+// two broken rows.
+TEST(CsvTest, ReadCsvJoinsQuotedMultilineRecords) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow({"1", "first\nsecond", "tail"});
+  writer.WriteRow({"2", "with\n\nblank line inside", "end"});
+  writer.WriteRow({"3", "plain", "last"});
+  std::istringstream in(out.str());
+  const auto rows = ReadCsv(in);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][1], "first\nsecond");
+  EXPECT_EQ(rows[1][1], "with\n\nblank line inside");
+  EXPECT_EQ(rows[1][2], "end");
+  EXPECT_EQ(rows[2][1], "plain");
+}
+
+TEST(CsvTest, ReadCsvSalvagesUnterminatedQuote) {
+  std::istringstream in("a,\"open quote\nnext line\n");
+  const auto rows = ReadCsv(in);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][1], "open quote\nnext line");
+}
+
 // ------------------------------------------------------------------ strings
 
 TEST(StringsTest, SplitKeepsEmpty) {

@@ -1,0 +1,424 @@
+// Tests for the observability layer: NDJSON event-log round-trips, the
+// event-stream -> SimulationResult join (the paper-style log join), metrics
+// registry concurrency, phase tracing, and the two contracts the layer
+// guarantees — byte-identical event streams regardless of pool thread count,
+// and zero perturbation of simulation output when sinks are attached.
+//
+// EventStreamDeterministicAcrossPoolThreads and SharedMetricsAcrossPoolWorkers
+// carry the `tsan` ctest label via this binary (see tests/CMakeLists.txt).
+
+#include "src/obs/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/event_join.h"
+#include "src/core/experiment.h"
+#include "src/core/runner.h"
+#include "src/fault/fault_process.h"
+#include "src/obs/manifest.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_profiler.h"
+
+namespace philly {
+namespace {
+
+ExperimentConfig SmallConfig(uint64_t seed) {
+  return ExperimentConfig::BenchScale(/*days=*/1, seed);
+}
+
+std::string NdjsonOf(const EventLog& log) {
+  std::ostringstream out;
+  log.WriteNdjson(out);
+  return out.str();
+}
+
+// ------------------------------------------------------------ NDJSON codec
+
+TEST(EventLogTest, SingleEventRoundTripsAllFields) {
+  SchedEvent event;
+  event.time = 12345;
+  event.kind = SchedEventKind::kSchedule;
+  event.job = 42;
+  event.vc = 3;
+  event.user = 17;
+  event.gpus = 8;
+  event.attempt = 2;
+  event.ready_time = 12000;
+  event.wait = 345;
+  event.fair_share_time = 100;
+  event.fragmentation_time = 245;
+  event.sched_attempts = 6;
+  event.out_of_order = true;
+  event.benign = true;
+  event.placement = "3:4|9:4";
+  event.detail = "pass";
+
+  const std::string line = ToNdjsonLine(event);
+  SchedEvent parsed;
+  std::string error;
+  ASSERT_TRUE(SchedEventFromNdjsonLine(line, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.time, event.time);
+  EXPECT_EQ(parsed.kind, event.kind);
+  EXPECT_EQ(parsed.job, event.job);
+  EXPECT_EQ(parsed.vc, event.vc);
+  EXPECT_EQ(parsed.user, event.user);
+  EXPECT_EQ(parsed.gpus, event.gpus);
+  EXPECT_EQ(parsed.attempt, event.attempt);
+  EXPECT_EQ(parsed.ready_time, event.ready_time);
+  EXPECT_EQ(parsed.wait, event.wait);
+  EXPECT_EQ(parsed.fair_share_time, event.fair_share_time);
+  EXPECT_EQ(parsed.fragmentation_time, event.fragmentation_time);
+  EXPECT_EQ(parsed.sched_attempts, event.sched_attempts);
+  EXPECT_EQ(parsed.out_of_order, event.out_of_order);
+  EXPECT_EQ(parsed.benign, event.benign);
+  EXPECT_EQ(parsed.placement, event.placement);
+  EXPECT_EQ(parsed.detail, event.detail);
+  // Re-serialization is byte-stable.
+  EXPECT_EQ(ToNdjsonLine(parsed), line);
+}
+
+TEST(EventLogTest, KindTagsRoundTrip) {
+  for (int k = 0; k < kNumSchedEventKinds; ++k) {
+    const auto kind = static_cast<SchedEventKind>(k);
+    SchedEventKind back;
+    ASSERT_TRUE(SchedEventKindFromString(ToString(kind), &back));
+    EXPECT_EQ(back, kind);
+  }
+  SchedEventKind ignored;
+  EXPECT_FALSE(SchedEventKindFromString("not_a_kind", &ignored));
+}
+
+TEST(EventLogTest, ReadNdjsonReportsMalformedLine) {
+  std::istringstream in(
+      "{\"t\":0,\"ev\":\"submit\",\"job\":1}\n"
+      "this is not json\n");
+  std::string error;
+  const auto events = EventLog::ReadNdjson(in, &error);
+  EXPECT_EQ(events.size(), 1u);
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(EventLogTest, FullRunStreamRoundTripsByteIdentically) {
+  EventLog log;
+  ExperimentConfig config = SmallConfig(13);
+  config.simulation.obs.event_log = &log;
+  RunExperiment(config);
+  ASSERT_GT(log.size(), 100u);
+
+  const std::string ndjson = NdjsonOf(log);
+  std::istringstream in(ndjson);
+  std::string error;
+  const auto events = EventLog::ReadNdjson(in, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_EQ(events.size(), log.size());
+
+  EventLog reparsed;
+  for (const auto& e : events) {
+    reparsed.Append(e.kind, e.time, e.job) = e;
+  }
+  EXPECT_EQ(NdjsonOf(reparsed), ndjson);
+}
+
+// ------------------------------------------------------------ event join
+
+// The property test the event log exists for: every scheduler-stream field of
+// the native SimulationResult must be re-derivable from the events alone.
+void ExpectJoinMatchesNative(const ExperimentConfig& base) {
+  EventLog log;
+  ExperimentConfig config = base;
+  config.simulation.obs.event_log = &log;
+  const SimulationResult native = RunExperiment(config).result;
+
+  std::string error;
+  const SimulationResult joined = JoinSchedulerEvents(log.events(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  EXPECT_EQ(joined.scheduling_decisions, native.scheduling_decisions);
+  EXPECT_EQ(joined.out_of_order_decisions, native.out_of_order_decisions);
+  EXPECT_EQ(joined.out_of_order_benign, native.out_of_order_benign);
+  EXPECT_EQ(joined.preemptions, native.preemptions);
+  EXPECT_EQ(joined.priority_preemptions, native.priority_preemptions);
+  EXPECT_EQ(joined.migrations, native.migrations);
+  EXPECT_EQ(joined.prerun_jobs, native.prerun_jobs);
+  EXPECT_EQ(joined.prerun_catches, native.prerun_catches);
+  EXPECT_DOUBLE_EQ(joined.prerun_gpu_seconds, native.prerun_gpu_seconds);
+  EXPECT_EQ(joined.machine_fault_kills, native.machine_fault_kills);
+  EXPECT_DOUBLE_EQ(joined.machine_fault_lost_gpu_seconds,
+                   native.machine_fault_lost_gpu_seconds);
+
+  ASSERT_EQ(joined.jobs.size(), native.jobs.size());
+  for (size_t i = 0; i < native.jobs.size(); ++i) {
+    const JobRecord& a = native.jobs[i];
+    const JobRecord& b = joined.jobs[i];
+    ASSERT_EQ(a.spec.id, b.spec.id);
+    EXPECT_EQ(a.spec.vc, b.spec.vc);
+    EXPECT_EQ(a.spec.user, b.spec.user);
+    EXPECT_EQ(a.spec.num_gpus, b.spec.num_gpus);
+    EXPECT_EQ(a.spec.submit_time, b.spec.submit_time);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.finish_time, b.finish_time);
+    EXPECT_EQ(a.InitialQueueDelay(), b.InitialQueueDelay());
+    EXPECT_EQ(a.started_out_of_order, b.started_out_of_order);
+    EXPECT_EQ(a.out_of_order_benign, b.out_of_order_benign);
+    EXPECT_EQ(a.overtaken, b.overtaken);
+    EXPECT_DOUBLE_EQ(a.gpu_seconds, b.gpu_seconds);
+    ASSERT_EQ(a.waits.size(), b.waits.size());
+    for (size_t w = 0; w < a.waits.size(); ++w) {
+      EXPECT_EQ(a.waits[w].ready_time, b.waits[w].ready_time);
+      EXPECT_EQ(a.waits[w].wait, b.waits[w].wait);
+      EXPECT_EQ(a.waits[w].fair_share_time, b.waits[w].fair_share_time);
+      EXPECT_EQ(a.waits[w].fragmentation_time, b.waits[w].fragmentation_time);
+      EXPECT_EQ(a.waits[w].sched_attempts, b.waits[w].sched_attempts);
+    }
+    ASSERT_EQ(a.attempts.size(), b.attempts.size());
+    for (size_t k = 0; k < a.attempts.size(); ++k) {
+      const AttemptRecord& x = a.attempts[k];
+      const AttemptRecord& y = b.attempts[k];
+      EXPECT_EQ(x.index, y.index);
+      EXPECT_EQ(x.start, y.start);
+      EXPECT_EQ(x.end, y.end);
+      EXPECT_EQ(x.failed, y.failed);
+      EXPECT_EQ(x.preempted, y.preempted);
+      EXPECT_EQ(x.machine_fault, y.machine_fault);
+      EXPECT_EQ(x.prerun, y.prerun);
+      EXPECT_EQ(EncodePlacement(x.placement), EncodePlacement(y.placement));
+    }
+  }
+}
+
+TEST(EventJoinTest, RebuildsSimulationResultFromEvents) {
+  ExpectJoinMatchesNative(SmallConfig(13));
+}
+
+TEST(EventJoinTest, RebuildsUnderFaultsAndSection5Mechanisms) {
+  ExperimentConfig config = SmallConfig(29);
+  config.simulation.fault = FaultProcessConfig::Calibrated();
+  config.simulation.scheduler.enable_prerun_pool = true;
+  config.simulation.scheduler.enable_migration = true;
+  ExpectJoinMatchesNative(config);
+}
+
+TEST(EventJoinTest, ReportsInconsistentStream) {
+  SchedEvent orphan;
+  orphan.kind = SchedEventKind::kComplete;
+  orphan.job = 99;
+  orphan.status = 0;
+  std::string error;
+  const auto joined = JoinSchedulerEvents({orphan}, &error);
+  EXPECT_TRUE(joined.jobs.empty());
+  EXPECT_NE(error.find("never submitted"), std::string::npos) << error;
+}
+
+// ----------------------------------------------- determinism & purity
+
+// The stream contract: running through the pool on any thread count yields
+// byte-identical per-run event streams. (tsan-labeled: proves the pool +
+// per-run logs are race free under ThreadSanitizer.)
+TEST(EventLogTest, EventStreamDeterministicAcrossPoolThreads) {
+  const std::vector<uint64_t> seeds = {7, 11, 19};
+
+  std::vector<std::string> serial;
+  for (uint64_t seed : seeds) {
+    EventLog log;
+    ExperimentConfig config = SmallConfig(seed);
+    config.simulation.obs.event_log = &log;
+    RunExperiment(config);
+    serial.push_back(NdjsonOf(log));
+  }
+
+  std::vector<EventLog> logs(seeds.size());
+  std::vector<ExperimentConfig> configs;
+  MetricsRegistry shared_metrics;
+  TraceProfiler shared_profiler;
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    ExperimentConfig config = SmallConfig(seeds[i]);
+    config.simulation.obs.event_log = &logs[i];
+    config.simulation.obs.metrics = &shared_metrics;
+    config.simulation.obs.profiler = &shared_profiler;
+    configs.push_back(std::move(config));
+  }
+  const ExperimentPool pool(4);
+  pool.RunMany(std::move(configs));
+
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(NdjsonOf(logs[i]), serial[i]) << "seed " << seeds[i];
+  }
+  // The shared sinks aggregated across all three runs.
+  EXPECT_GT(shared_metrics.GetCounter("sched.decisions")->value(), 0);
+  EXPECT_GT(shared_profiler.size(), 0u);
+}
+
+TEST(EventLogTest, RunManyRejectsSharedEventLog) {
+  EventLog shared;
+  std::vector<ExperimentConfig> configs;
+  for (uint64_t seed : {1u, 2u}) {
+    ExperimentConfig config = SmallConfig(seed);
+    config.simulation.obs.event_log = &shared;
+    configs.push_back(std::move(config));
+  }
+  const ExperimentPool pool(2);
+  EXPECT_THROW(pool.RunMany(std::move(configs)), std::invalid_argument);
+}
+
+// Attaching every sink must not change a single bit of the simulation output.
+TEST(ObservabilityTest, EnabledSinksDoNotPerturbSimulation) {
+  const ExperimentConfig base = SmallConfig(23);
+  const SimulationResult plain = RunExperiment(base).result;
+
+  EventLog log;
+  MetricsRegistry metrics;
+  TraceProfiler profiler;
+  ExperimentConfig observed = base;
+  observed.simulation.obs.event_log = &log;
+  observed.simulation.obs.metrics = &metrics;
+  observed.simulation.obs.profiler = &profiler;
+  const SimulationResult instrumented = RunExperiment(observed).result;
+
+  ASSERT_EQ(plain.jobs.size(), instrumented.jobs.size());
+  EXPECT_EQ(plain.scheduling_decisions, instrumented.scheduling_decisions);
+  EXPECT_EQ(plain.preemptions, instrumented.preemptions);
+  EXPECT_EQ(plain.sim_events_processed, instrumented.sim_events_processed);
+  for (size_t i = 0; i < plain.jobs.size(); ++i) {
+    const JobRecord& a = plain.jobs[i];
+    const JobRecord& b = instrumented.jobs[i];
+    ASSERT_EQ(a.spec.id, b.spec.id);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.finish_time, b.finish_time);
+    EXPECT_EQ(a.InitialQueueDelay(), b.InitialQueueDelay());
+    EXPECT_EQ(a.attempts.size(), b.attempts.size());
+    EXPECT_EQ(a.gpu_seconds, b.gpu_seconds);
+    EXPECT_EQ(a.executed_epochs, b.executed_epochs);
+  }
+  // And the sinks did observe the run.
+  EXPECT_GT(log.size(), 0u);
+  EXPECT_EQ(metrics.GetCounter("sched.decisions")->value(),
+            plain.scheduling_decisions);
+  EXPECT_EQ(metrics.GetCounter("sim.events_processed")->value(),
+            plain.sim_events_processed);
+  EXPECT_EQ(
+      metrics.GetHistogram("sched.queue_delay_minutes")->count(),
+      static_cast<int64_t>(plain.jobs.size()));
+}
+
+// ------------------------------------------------------------ metrics
+
+TEST(MetricsTest, SharedRegistryIsThreadSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter* counter = registry.GetCounter("test.counter");
+      Gauge* gauge = registry.GetGauge("test.gauge");
+      Histogram* hist = registry.GetHistogram("test.hist");
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        gauge->Add(1.0);
+        hist->Observe(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(registry.GetCounter("test.counter")->value(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("test.gauge")->value(),
+                   kThreads * kPerThread);
+  EXPECT_EQ(registry.GetHistogram("test.hist")->count(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(registry.GetHistogram("test.hist")->min(), 0.0);
+  EXPECT_DOUBLE_EQ(registry.GetHistogram("test.hist")->max(), 99.0);
+}
+
+TEST(MetricsTest, HistogramQuantilesAreOrderedAndClamped) {
+  Histogram hist;
+  for (int i = 1; i <= 1000; ++i) {
+    hist.Observe(static_cast<double>(i));
+  }
+  EXPECT_EQ(hist.count(), 1000);
+  EXPECT_DOUBLE_EQ(hist.min(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 1000.0);
+  const double p50 = hist.Quantile(0.5);
+  const double p90 = hist.Quantile(0.9);
+  const double p99 = hist.Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, hist.min());
+  EXPECT_LE(p99, hist.max());
+  // Base-2 buckets: the estimates are order-of-magnitude accurate.
+  EXPECT_NEAR(p50, 500.0, 300.0);
+}
+
+TEST(MetricsTest, MergeFromFoldsRegistries) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("x")->Increment(3);
+  b.GetCounter("x")->Increment(4);
+  b.GetCounter("only_b")->Increment(1);
+  b.GetHistogram("h")->Observe(2.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("x")->value(), 7);
+  EXPECT_EQ(a.GetCounter("only_b")->value(), 1);
+  EXPECT_EQ(a.GetHistogram("h")->count(), 1);
+}
+
+TEST(MetricsTest, WriteJsonSnapshot) {
+  MetricsRegistry registry;
+  registry.GetCounter("sched.decisions")->Increment(5);
+  registry.GetHistogram("sched.queue_delay_minutes")->Observe(1.5);
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"sched.decisions\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("sched.queue_delay_minutes"), std::string::npos);
+}
+
+// ------------------------------------------------------------ profiler
+
+TEST(TraceProfilerTest, ScopedTimerRecordsSlices) {
+  TraceProfiler profiler;
+  {
+    ScopedTimer outer(&profiler, "outer");
+    ScopedTimer inner(&profiler, "inner");
+  }
+  EXPECT_EQ(profiler.size(), 2u);
+  std::ostringstream out;
+  profiler.WriteChromeTrace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+}
+
+TEST(TraceProfilerTest, NullProfilerIsNoOp) {
+  ScopedTimer timer(nullptr, "unused");
+  // Destruction without a profiler must be a no-op (no crash, no slices).
+}
+
+// ------------------------------------------------------------ manifest
+
+TEST(ManifestTest, WriteJsonContainsKnobsAndOutputs) {
+  RunManifest manifest;
+  manifest.tool = "phillyctl";
+  manifest.command = "simulate";
+  manifest.seed = 42;
+  manifest.days = 10;
+  manifest.threads = 4;
+  manifest.knobs["scheduler"] = "philly";
+  manifest.outputs["events"] = "events.ndjson";
+  std::ostringstream out;
+  manifest.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"seed\": 42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"scheduler\": \"philly\""), std::string::npos);
+  EXPECT_NE(json.find("events.ndjson"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace philly

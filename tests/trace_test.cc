@@ -148,6 +148,118 @@ TEST(TraceIoTest, ReaderToleratesMalformedRows) {
   EXPECT_TRUE(jobs[1].attempts[1].placement.Empty());
 }
 
+// Regression: numeric fields that failed to parse used to become 0 silently
+// (std::from_chars errors were ignored), so a corrupted trace produced
+// plausible-looking zeros instead of any signal. The reader now counts every
+// bad field, and strict mode drops the whole row.
+TEST(TraceIoTest, CountsNumericParseErrorsAndSupportsStrictMode) {
+  const std::string jobs_header =
+      "job_id,vc,user,submit_time,num_gpus,status,queue_delay_s,finish_time,"
+      "attempts,retries,gpu_seconds,executed_epochs,planned_epochs,"
+      "logs_convergence\n";
+  const std::string jobs_rows =
+      "1,0,5,100,8,Passed,0,5000,1,0,39200,10,10,0\n"
+      "2,1,6,oops,1,Killed,60,9000,1,0,8740,3,20,1\n";  // bad submit_time
+  const std::string attempts =
+      "job_id,attempt,start,end,failed,preempted,placement\n"
+      "1,0,100,5000,0,0,3:8\n"
+      "2,0,xyz,9000,1,0,7:1\n";  // bad start
+  const std::string util = "job_id,segment,expected_util,duration_s,num_servers\n";
+
+  {
+    std::stringstream jobs_csv(jobs_header + jobs_rows);
+    std::stringstream attempts_csv(attempts);
+    std::stringstream util_csv(util);
+    std::stringstream stdout_log;
+    TraceReadStats stats;
+    const auto jobs = TraceReader::ReadJobs(jobs_csv, attempts_csv, util_csv,
+                                            stdout_log, {}, &stats);
+    // Tolerant default: rows kept, bad fields as 0 — but now counted.
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[1].spec.submit_time, 0);
+    EXPECT_EQ(stats.numeric_parse_errors, 2);
+    EXPECT_EQ(stats.rows_rejected, 0);
+  }
+  {
+    std::stringstream jobs_csv(jobs_header + jobs_rows);
+    std::stringstream attempts_csv(attempts);
+    std::stringstream util_csv(util);
+    std::stringstream stdout_log;
+    TraceReadOptions options;
+    options.strict = true;
+    TraceReadStats stats;
+    const auto jobs = TraceReader::ReadJobs(jobs_csv, attempts_csv, util_csv,
+                                            stdout_log, options, &stats);
+    // Strict: both corrupted rows are dropped whole — the job row for its bad
+    // submit_time, and the attempt row because its owning job is gone (so its
+    // own bad field is never even parsed).
+    ASSERT_EQ(jobs.size(), 1u);
+    EXPECT_EQ(jobs[0].spec.id, 1);
+    ASSERT_EQ(jobs[0].attempts.size(), 1u);
+    EXPECT_EQ(stats.numeric_parse_errors, 1);
+    EXPECT_EQ(stats.rows_rejected, 2);
+  }
+}
+
+// Regression: the stdout.log framing used to be a bare "=== job I attempt K"
+// marker, so a log line that happened to look like a marker was re-parsed as
+// one on read and the tail after it attached to the wrong attempt (or was
+// dropped). The length-prefixed framing reads tails verbatim.
+TEST(TraceIoTest, LogTailFramingSurvivesMarkerInjection) {
+  JobRecord job;
+  job.spec.id = 7;
+  job.spec.num_gpus = 1;
+  AttemptRecord attempt;
+  attempt.index = 0;
+  attempt.log_tail = {
+      "normal line",
+      "=== job 7 attempt 1",          // looks exactly like a legacy marker
+      "=== job 999 attempt 0 lines 3",  // looks like a prefixed marker
+      "trailing line",
+  };
+  job.attempts.push_back(attempt);
+
+  std::stringstream jobs_csv;
+  std::stringstream attempts_csv;
+  std::stringstream util_csv;
+  std::stringstream stdout_log;
+  TraceWriter::WriteJobs({job}, jobs_csv);
+  TraceWriter::WriteAttempts({job}, attempts_csv);
+  TraceWriter::WriteUtilSegments({job}, util_csv);
+  TraceWriter::WriteStdoutLogs({job}, stdout_log);
+
+  const auto restored =
+      TraceReader::ReadJobs(jobs_csv, attempts_csv, util_csv, stdout_log);
+  ASSERT_EQ(restored.size(), 1u);
+  ASSERT_EQ(restored[0].attempts.size(), 1u);
+  EXPECT_EQ(restored[0].attempts[0].log_tail, attempt.log_tail);
+}
+
+TEST(TraceIoTest, ReaderAcceptsLegacyUnprefixedFraming) {
+  JobRecord job;
+  job.spec.id = 3;
+  job.spec.num_gpus = 1;
+  AttemptRecord attempt;
+  attempt.index = 0;
+  job.attempts.push_back(attempt);
+
+  std::stringstream jobs_csv;
+  std::stringstream attempts_csv;
+  std::stringstream util_csv;
+  TraceWriter::WriteJobs({job}, jobs_csv);
+  TraceWriter::WriteAttempts({job}, attempts_csv);
+  TraceWriter::WriteUtilSegments({job}, util_csv);
+  std::stringstream stdout_log(
+      "=== job 3 attempt 0\n"
+      "old-style tail line\n");
+  const auto restored =
+      TraceReader::ReadJobs(jobs_csv, attempts_csv, util_csv, stdout_log);
+  ASSERT_EQ(restored.size(), 1u);
+  ASSERT_EQ(restored[0].attempts.size(), 1u);
+  ASSERT_EQ(restored[0].attempts[0].log_tail.size(), 1u);
+  EXPECT_EQ(restored[0].attempts[0].log_tail[0], "old-style tail line");
+}
+
 TEST(TraceIoTest, ReaderHandlesEmptyStreams) {
   std::stringstream empty1;
   std::stringstream empty2;

@@ -1,9 +1,15 @@
 // phillyctl — command-line front end for the phillysim library.
 //
 //   phillyctl simulate --days 10 --seed 42 --out DIR [options]
-//       Run a simulation and write the trace artifact(s).
+//       Run a simulation and write the trace artifact(s) plus a
+//       manifest.json recording seed/config/knobs for reproduction.
 //   phillyctl analyze --trace DIR [--figures DIR]
 //       Re-analyze a previously written native trace and print every table.
+//   phillyctl analyze --from-events FILE [--trace DIR]
+//       Rebuild the scheduler-stream analyses (Table 6, Fig 2, Fig 3,
+//       Table 2) from an NDJSON event log alone. With --trace, cross-check
+//       the rebuilt per-job records against the native trace and fail on
+//       any divergence.
 //   phillyctl report [--days N] [--seed S] [options]
 //       Run a simulation and print the full analysis without writing files.
 //   phillyctl sweep [--days N] [--seeds S1,S2,...] [--schedulers a,b,...]
@@ -27,9 +33,15 @@
 //                         recovery (default 0 = restart from scratch)
 //   Output options (simulate):
 //     --format native|philly-traces|both                 (default native)
+//   Observability options (simulate/report):
+//     --events-out FILE   write the scheduler event stream as NDJSON
+//     --metrics-out FILE  write aggregated run metrics as JSON
+//     --trace-out FILE    write wall-clock phase slices as Chrome trace-event
+//                         JSON (load in ui.perfetto.dev or chrome://tracing)
 //   Input options (analyze):
 //     --philly-traces     treat --trace as the public-release layout and
 //                         parse cluster_job_log (telemetry analyses skipped)
+//     --from-events FILE  analyze an NDJSON scheduler event log
 
 #include <cerrno>
 #include <cstdio>
@@ -45,11 +57,17 @@
 #include "src/common/strings.h"
 #include "src/common/table.h"
 #include "src/core/analysis.h"
+#include "src/core/event_join.h"
 #include "src/core/experiment.h"
 #include "src/core/runner.h"
 #include "src/core/report.h"
 #include "src/core/validate.h"
 #include "src/fault/fault_process.h"
+#include "src/obs/event_log.h"
+#include "src/obs/manifest.h"
+#include "src/obs/metrics.h"
+#include "src/obs/observability.h"
+#include "src/obs/trace_profiler.h"
 #include "src/trace/philly_format.h"
 #include "src/trace/trace_io.h"
 
@@ -81,7 +99,9 @@ Args Parse(int argc, char** argv) {
                                      "--trace",   "--figures",    "--scheduler",
                                      "--retry",   "--format",     "--seeds",
                                      "--schedulers", "--threads", "--retries",
-                                     "--checkpoint-mins"};
+                                     "--checkpoint-mins", "--events-out",
+                                     "--metrics-out", "--trace-out",
+                                     "--from-events"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     bool takes_value = false;
@@ -166,7 +186,12 @@ bool ApplySchedulerOptions(const Args& args, SchedulerConfig* sched) {
          ApplyCommonSchedulerOptions(args, sched);
 }
 
-void PrintReport(const std::vector<JobRecord>& jobs, const SimulationResult* sim) {
+// Report sections shared by `report`, `analyze --trace`, and
+// `analyze --from-events`. The first four consume only the scheduler stream
+// (JobRecord scheduling fields + counters), so an event-log join can
+// reproduce them without telemetry or framework logs.
+
+void PrintStatusSection(const std::vector<JobRecord>& jobs) {
   const auto status = AnalyzeStatus(jobs);
   std::printf("=== Table 6: job status vs GPU time ===\n");
   TextTable status_table({"status", "count", "count share", "GPU-time share"});
@@ -177,7 +202,9 @@ void PrintReport(const std::vector<JobRecord>& jobs, const SimulationResult* sim
                          FormatPercent(row.gpu_time_share, 1)});
   }
   std::printf("%s\n", status_table.Render().c_str());
+}
 
+void PrintRunTimeSection(const std::vector<JobRecord>& jobs) {
   const auto runtimes = AnalyzeRunTimes(jobs);
   std::printf("=== Figure 2: run times ===\n");
   TextTable rt_table({"bucket", "n", "median (min)", "p90 (min)", "p99 (min)"});
@@ -190,7 +217,9 @@ void PrintReport(const std::vector<JobRecord>& jobs, const SimulationResult* sim
   }
   std::printf("%s  jobs over one week: %s\n\n", rt_table.Render().c_str(),
               FormatPercent(runtimes.fraction_over_one_week, 2).c_str());
+}
 
+void PrintQueueDelaySection(const std::vector<JobRecord>& jobs) {
   const auto delays = AnalyzeQueueDelays(jobs);
   std::printf("=== Figure 3: queueing delay ===\n");
   TextTable d_table({"bucket", "P(<=1min)", "P(<=10min)", "p90 (min)", "p99 (min)"});
@@ -202,7 +231,10 @@ void PrintReport(const std::vector<JobRecord>& jobs, const SimulationResult* sim
                     FormatDouble(hist.Quantile(0.99), 2)});
   }
   std::printf("%s\n", d_table.Render().c_str());
+}
 
+void PrintDelayCauseSection(const std::vector<JobRecord>& jobs,
+                            const SimulationResult* sim) {
   const auto causes = AnalyzeDelayCauses(jobs, sim);
   std::printf("=== Table 2: delay causes ===\n");
   TextTable c_table({"bucket", "fair-share", "fragmentation"});
@@ -224,6 +256,13 @@ void PrintReport(const std::vector<JobRecord>& jobs, const SimulationResult* sim
                 static_cast<long long>(sim->migrations));
   }
   std::printf("\n");
+}
+
+void PrintReport(const std::vector<JobRecord>& jobs, const SimulationResult* sim) {
+  PrintStatusSection(jobs);
+  PrintRunTimeSection(jobs);
+  PrintQueueDelaySection(jobs);
+  PrintDelayCauseSection(jobs, sim);
 
   const auto util = AnalyzeUtilization(jobs);
   std::printf("=== Figure 5 / Table 3: GPU utilization ===\n");
@@ -272,6 +311,16 @@ void PrintReport(const std::vector<JobRecord>& jobs, const SimulationResult* sim
   }
 }
 
+// The subset of the report a scheduler event log can reproduce on its own.
+// Utilization, failure, and host-resource tables need the telemetry and
+// framework streams, which the event stream deliberately does not carry.
+void PrintEventReport(const SimulationResult& joined) {
+  PrintStatusSection(joined.jobs);
+  PrintRunTimeSection(joined.jobs);
+  PrintQueueDelaySection(joined.jobs);
+  PrintDelayCauseSection(joined.jobs, &joined);
+}
+
 void ExportFigures(const std::vector<JobRecord>& jobs, const std::string& dir) {
   std::filesystem::create_directories(dir);
   const auto runtimes = AnalyzeRunTimes(jobs);
@@ -294,6 +343,49 @@ void ExportFigures(const std::vector<JobRecord>& jobs, const std::string& dir) {
   std::printf("figure series written to %s/\n", dir.c_str());
 }
 
+// Writes `write(out)` to `path`, reporting failures with `what`.
+template <typename WriteFn>
+bool WriteObsFile(const std::string& path, const char* what, WriteFn write) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s to %s\n", what, path.c_str());
+    return false;
+  }
+  write(out);
+  if (!out.good()) {
+    std::fprintf(stderr, "error while writing %s to %s\n", what, path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// The manifest that lets a trace directory found on disk later be
+// regenerated: seed, scale, and every knob that changes the simulation.
+RunManifest ManifestFor(const Args& args, const ExperimentConfig& config,
+                        bool write_output) {
+  RunManifest manifest;
+  manifest.tool = "phillyctl";
+  manifest.command = write_output ? "simulate" : "report";
+  manifest.seed = config.simulation.seed;
+  manifest.days = args.GetInt("--days", 10);
+  manifest.threads = 1;
+  manifest.knobs["scheduler"] = config.simulation.scheduler.name;
+  manifest.knobs["retry"] = args.Get("--retry", "fixed");
+  manifest.knobs["format"] = args.Get("--format", "native");
+  manifest.knobs["faults"] = args.Has("--faults") ? "on" : "off";
+  const int checkpoint_mins = args.GetInt("--checkpoint-mins", 0);
+  if (checkpoint_mins > 0) {
+    manifest.knobs["checkpoint-mins"] = std::to_string(checkpoint_mins);
+  }
+  for (const char* flag :
+       {"--prerun", "--migration", "--dedicated", "--strict-locality"}) {
+    if (args.Has(flag)) {
+      manifest.knobs[flag + 2] = "on";  // strip the leading dashes
+    }
+  }
+  return manifest;
+}
+
 int RunSimulateOrReport(const Args& args, bool write_output) {
   ExperimentConfig config =
       ExperimentConfig::BenchScale(args.GetInt("--days", 10),
@@ -304,12 +396,33 @@ int RunSimulateOrReport(const Args& args, bool write_output) {
   if (args.Has("--faults")) {
     config.simulation.fault = FaultProcessConfig::Calibrated();
   }
+
+  // Observability sinks attach only when their output was requested: a run
+  // without these flags keeps config.simulation.obs all-null and is
+  // byte-identical to a run from before the sinks existed.
+  EventLog event_log;
+  MetricsRegistry metrics;
+  TraceProfiler profiler;
+  const std::string events_out = args.Get("--events-out", "");
+  const std::string metrics_out = args.Get("--metrics-out", "");
+  const std::string trace_out = args.Get("--trace-out", "");
+  if (!events_out.empty()) {
+    config.simulation.obs.event_log = &event_log;
+  }
+  if (!metrics_out.empty()) {
+    config.simulation.obs.metrics = &metrics;
+  }
+  if (!trace_out.empty()) {
+    config.simulation.obs.profiler = &profiler;
+  }
+
   std::printf("simulating %d days (seed %d, scheduler %s)...\n",
               args.GetInt("--days", 10), args.GetInt("--seed", 42),
               config.simulation.scheduler.name.c_str());
   const ExperimentRun run = RunExperiment(config);
   std::printf("%lld jobs completed\n\n", static_cast<long long>(run.num_jobs));
 
+  RunManifest manifest = ManifestFor(args, config, write_output);
   if (write_output) {
     const std::string out = args.Get("--out", "out/trace");
     std::filesystem::create_directories(out);
@@ -319,6 +432,7 @@ int RunSimulateOrReport(const Args& args, bool write_output) {
         std::fprintf(stderr, "cannot write native trace to %s\n", out.c_str());
         return 1;
       }
+      manifest.outputs["trace"] = out;
       std::printf("native trace written to %s/\n", out.c_str());
     }
     if (format == "philly-traces" || format == "both") {
@@ -327,17 +441,184 @@ int RunSimulateOrReport(const Args& args, bool write_output) {
         std::fprintf(stderr, "cannot write philly-traces files to %s\n", out.c_str());
         return 1;
       }
+      manifest.outputs["philly-traces"] = out;
       std::printf("philly-traces-format files written to %s/\n", out.c_str());
     }
   }
-  PrintReport(run.result.jobs, &run.result);
-  if (args.values.count("--figures") > 0) {
-    ExportFigures(run.result.jobs, args.Get("--figures", "out/figures"));
+
+  {
+    // Scoped so the "analyze" slice closes before the trace file is written.
+    ScopedTimer analyze_timer(config.simulation.obs.profiler, "analyze");
+    PrintReport(run.result.jobs, &run.result);
+    if (args.values.count("--figures") > 0) {
+      ExportFigures(run.result.jobs, args.Get("--figures", "out/figures"));
+    }
+  }
+
+  if (!events_out.empty()) {
+    if (!WriteObsFile(events_out, "event log",
+                      [&](std::ostream& out) { event_log.WriteNdjson(out); })) {
+      return 1;
+    }
+    manifest.outputs["events"] = events_out;
+    std::printf("%zu scheduler events written to %s\n", event_log.size(),
+                events_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (!WriteObsFile(metrics_out, "metrics",
+                      [&](std::ostream& out) { metrics.WriteJson(out); })) {
+      return 1;
+    }
+    manifest.outputs["metrics"] = metrics_out;
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    if (!WriteObsFile(trace_out, "phase trace", [&](std::ostream& out) {
+          profiler.WriteChromeTrace(out);
+        })) {
+      return 1;
+    }
+    manifest.outputs["phase-trace"] = trace_out;
+    std::printf("%zu phase slices written to %s (open in ui.perfetto.dev)\n",
+                profiler.size(), trace_out.c_str());
+  }
+  if (write_output) {
+    const std::string manifest_path = args.Get("--out", "out/trace") +
+                                      "/manifest.json";
+    if (!manifest.WriteFile(manifest_path)) {
+      std::fprintf(stderr, "cannot write %s\n", manifest_path.c_str());
+      return 1;
+    }
+    std::printf("manifest written to %s\n", manifest_path.c_str());
+  }
+  return 0;
+}
+
+// Compares the event-rebuilt jobs against a native trace, field by field,
+// for every number both sources claim to know. Returns the mismatch count
+// (printing the first few).
+int CrossCheckAgainstTrace(const std::vector<JobRecord>& joined,
+                           const std::vector<JobRecord>& native) {
+  std::map<JobId, const JobRecord*> by_id;
+  for (const JobRecord& job : native) {
+    by_id[job.spec.id] = &job;
+  }
+  int mismatches = 0;
+  const auto report = [&](JobId id, const char* field, double from_events,
+                          double from_trace) {
+    ++mismatches;
+    if (mismatches <= 10) {
+      std::fprintf(stderr,
+                   "cross-check mismatch: job %lld %s: events say %g, "
+                   "trace says %g\n",
+                   static_cast<long long>(id), field, from_events, from_trace);
+    }
+  };
+  if (joined.size() != native.size()) {
+    std::fprintf(stderr, "cross-check mismatch: %zu jobs from events vs %zu "
+                 "in the trace\n", joined.size(), native.size());
+    ++mismatches;
+  }
+  for (const JobRecord& job : joined) {
+    const auto it = by_id.find(job.spec.id);
+    if (it == by_id.end()) {
+      report(job.spec.id, "presence", 1, 0);
+      continue;
+    }
+    const JobRecord& ref = *it->second;
+    if (job.spec.vc != ref.spec.vc) {
+      report(job.spec.id, "vc", job.spec.vc, ref.spec.vc);
+    }
+    if (job.spec.num_gpus != ref.spec.num_gpus) {
+      report(job.spec.id, "num_gpus", job.spec.num_gpus, ref.spec.num_gpus);
+    }
+    if (job.spec.submit_time != ref.spec.submit_time) {
+      report(job.spec.id, "submit_time",
+             static_cast<double>(job.spec.submit_time),
+             static_cast<double>(ref.spec.submit_time));
+    }
+    if (job.InitialQueueDelay() != ref.InitialQueueDelay()) {
+      report(job.spec.id, "initial queue delay",
+             static_cast<double>(job.InitialQueueDelay()),
+             static_cast<double>(ref.InitialQueueDelay()));
+    }
+    if (job.attempts.size() != ref.attempts.size()) {
+      report(job.spec.id, "attempt count",
+             static_cast<double>(job.attempts.size()),
+             static_cast<double>(ref.attempts.size()));
+    }
+    if (job.status != ref.status) {
+      report(job.spec.id, "status", static_cast<int>(job.status),
+             static_cast<int>(ref.status));
+    }
+    if (job.finish_time != ref.finish_time) {
+      report(job.spec.id, "finish_time", static_cast<double>(job.finish_time),
+             static_cast<double>(ref.finish_time));
+    }
+  }
+  if (mismatches > 10) {
+    std::fprintf(stderr, "... and %d more mismatches\n", mismatches - 10);
+  }
+  return mismatches;
+}
+
+// `analyze --from-events FILE [--trace DIR]`: rebuild the scheduler-stream
+// analyses from the NDJSON event log alone; with --trace, also verify the
+// rebuilt records against the native trace (the round-trip check the CI
+// smoke job runs).
+int RunAnalyzeFromEvents(const Args& args) {
+  const std::string path = args.Get("--from-events", "");
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open event log %s\n", path.c_str());
+    return 1;
+  }
+  std::string error;
+  const std::vector<SchedEvent> events = EventLog::ReadNdjson(in, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "failed to parse %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  const SimulationResult joined = JoinSchedulerEvents(events, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "inconsistent event stream in %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("rebuilt %zu jobs from %zu scheduler events in %s\n\n",
+              joined.jobs.size(), events.size(), path.c_str());
+  PrintEventReport(joined);
+
+  const std::string dir = args.Get("--trace", "");
+  if (!dir.empty()) {
+    std::ifstream jobs_csv(dir + "/jobs.csv");
+    std::ifstream attempts_csv(dir + "/attempts.csv");
+    std::ifstream util_csv(dir + "/gpu_util.csv");
+    std::ifstream stdout_log(dir + "/stdout.log");
+    if (!jobs_csv || !attempts_csv || !util_csv || !stdout_log) {
+      std::fprintf(stderr, "cannot open native trace files under %s\n",
+                   dir.c_str());
+      return 1;
+    }
+    const auto native =
+        TraceReader::ReadJobs(jobs_csv, attempts_csv, util_csv, stdout_log);
+    const int mismatches = CrossCheckAgainstTrace(joined.jobs, native);
+    if (mismatches > 0) {
+      std::fprintf(stderr,
+                   "event log and native trace disagree (%d mismatches)\n",
+                   mismatches);
+      return 1;
+    }
+    std::printf("cross-check passed: %zu jobs agree with the native trace\n",
+                native.size());
   }
   return 0;
 }
 
 int RunAnalyze(const Args& args) {
+  if (args.values.count("--from-events") > 0) {
+    return RunAnalyzeFromEvents(args);
+  }
   const std::string dir = args.Get("--trace", "");
   if (dir.empty()) {
     std::fprintf(stderr, "analyze requires --trace DIR\n");
