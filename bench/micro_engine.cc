@@ -48,11 +48,10 @@ void BM_HistogramAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramAdd);
 
-void BM_PlacementSearch(benchmark::State& state) {
+// Brings a paper-scale cluster to ~80% occupancy with random small jobs.
+Cluster LoadedPaperCluster(const LocalityPlacer& placer) {
   Cluster cluster(ClusterConfig::PaperScale());
-  LocalityPlacer placer;
   Rng rng(5);
-  // Bring the cluster to ~80% occupancy with random small jobs.
   JobId next = 1;
   while (cluster.Occupancy() < 0.8) {
     const int gpus = static_cast<int>(rng.Between(1, 8));
@@ -62,13 +61,64 @@ void BM_PlacementSearch(benchmark::State& state) {
     }
     cluster.Allocate(next++, *placement);
   }
+  return cluster;
+}
+
+// Pure placement search at a fixed cluster state: index-backed vs the legacy
+// full-scan reference (the second range arg selects the path). The spread
+// between the two is the per-query win of the free-capacity index.
+void BM_PlacementSearch(benchmark::State& state) {
+  PlacerConfig config;
+  config.use_scan_reference = state.range(1) != 0;
+  LocalityPlacer placer(config);
+  const Cluster cluster = LoadedPaperCluster(placer);
   const int gpus = static_cast<int>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(placer.FindPlacement(cluster, gpus, 2));
   }
   state.SetItemsProcessed(state.iterations());
+  state.SetLabel(config.use_scan_reference ? "scan" : "index");
 }
-BENCHMARK(BM_PlacementSearch)->Arg(1)->Arg(8)->Arg(32);
+BENCHMARK(BM_PlacementSearch)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({32, 0})
+    ->Args({32, 1});
+
+// Allocate/release churn through FindPlacement, the scheduler's actual hot
+// loop shape: every allocation and release also pays the incremental index
+// maintenance, so this measures search + upkeep together against the
+// maintenance-free scan.
+void BM_PlacementChurn(benchmark::State& state) {
+  PlacerConfig config;
+  config.use_scan_reference = state.range(0) != 0;
+  LocalityPlacer placer(config);
+  Cluster cluster = LoadedPaperCluster(placer);
+  Rng rng(17);
+  JobId next = 1000000;
+  std::vector<JobId> held;
+  for (auto _ : state) {
+    const int gpus = static_cast<int>(rng.Between(1, 16));
+    const auto placement =
+        placer.FindPlacement(cluster, gpus, static_cast<int>(rng.Below(4)));
+    if (placement.has_value()) {
+      cluster.Allocate(next, *placement);
+      held.push_back(next++);
+    }
+    if (held.size() > 64 || (!held.empty() && !placement.has_value())) {
+      const size_t pick = rng.Below(held.size());
+      cluster.Release(held[pick]);
+      held[pick] = held.back();
+      held.pop_back();
+    }
+    benchmark::DoNotOptimize(cluster.NumFreeGpus());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(config.use_scan_reference ? "scan" : "index");
+}
+BENCHMARK(BM_PlacementChurn)->Arg(0)->Arg(1);
 
 void BM_UtilizationModel(benchmark::State& state) {
   UtilizationModel model;

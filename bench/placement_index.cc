@@ -1,0 +1,192 @@
+// Paper-scale end-to-end bench for the free-capacity placement index.
+//
+// Runs the same experiment twice — once with the legacy full-scan placer
+// (PlacerConfig::use_scan_reference) and once with the index-backed placer —
+// and compares:
+//   * correctness: the scheduler event streams must be byte-identical, since
+//     the index is required to reproduce the scan's canonical candidate
+//     orders exactly (docs/placement-index.md);
+//   * performance: the TraceProfiler's scheduling_pass slice (the phase the
+//     index accelerates), reported as a speedup ratio. The ratio, not the
+//     absolute wall time, is what CI checks — it divides out machine speed.
+//
+// Output: a human-readable table plus BENCH_placement_index.json (override
+// the path with --out). With `--check <baseline.json>` the bench exits 1 when
+// the measured speedup falls more than 20% below the checked-in baseline's,
+// or when the two runs' outputs diverge — that is the CI perf-smoke gate.
+//
+// Scale knobs are the usual PHILLY_BENCH_DAYS / PHILLY_BENCH_SEED.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/common/json.h"
+#include "src/common/table.h"
+#include "src/obs/event_log.h"
+#include "src/obs/trace_profiler.h"
+
+namespace philly {
+namespace {
+
+struct TimedRun {
+  std::string events;       // NDJSON scheduler stream (identity run only)
+  int64_t scheduling_us = 0;  // summed scheduling_pass slices
+  int64_t total_us = 0;       // whole-experiment slice
+  size_t jobs = 0;
+};
+
+// Timing and identity use separate runs: EventLog appends happen inside the
+// scheduling pass, so logging during the timed run would dilute the measured
+// speedup with identical logging cost on both sides. The timed run attaches
+// only the profiler; the identity run attaches only the event log.
+TimedRun RunOnce(bool use_scan, bool capture_events) {
+  ExperimentConfig config = BenchConfig();
+  config.simulation.scheduler.placer.use_scan_reference = use_scan;
+  EventLog log;
+  TraceProfiler profiler;
+  if (capture_events) {
+    config.simulation.obs.event_log = &log;
+  } else {
+    config.simulation.obs.profiler = &profiler;
+  }
+  const ExperimentRun run = RunExperiment(config);
+  TimedRun timed;
+  if (capture_events) {
+    std::ostringstream events;
+    log.WriteNdjson(events);
+    timed.events = events.str();
+  }
+  timed.scheduling_us = profiler.TotalDurationOf("scheduling_pass");
+  timed.total_us = profiler.TotalDurationOf("experiment");
+  timed.jobs = run.result.jobs.size();
+  return timed;
+}
+
+double Seconds(int64_t us) { return static_cast<double>(us) / 1e6; }
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_placement_index.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out <json>] [--check <baseline.json>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  PrintHeader("placement index: scan vs index scheduling-pass time",
+              "index-backed placement reproduces the scan byte-identically "
+              "while cutting scheduling-pass time by >=1.5x");
+
+  // Best-of-3 on each side: one 75-day run's scheduling pass is well under a
+  // second of wall time, so single-shot ratios swing with machine noise;
+  // taking each side's fastest run recovers the intrinsic cost.
+  constexpr int kRepeats = 3;
+  std::printf("timing scan reference (days=%d seed=%llu, best of %d)...\n",
+              BenchDays(), static_cast<unsigned long long>(BenchSeed()),
+              kRepeats);
+  TimedRun scan = RunOnce(/*use_scan=*/true, /*capture_events=*/false);
+  std::printf("timing index-backed placer (best of %d)...\n", kRepeats);
+  TimedRun index = RunOnce(/*use_scan=*/false, /*capture_events=*/false);
+  for (int i = 1; i < kRepeats; ++i) {
+    const TimedRun s = RunOnce(/*use_scan=*/true, /*capture_events=*/false);
+    if (s.scheduling_us < scan.scheduling_us) scan = s;
+    const TimedRun x = RunOnce(/*use_scan=*/false, /*capture_events=*/false);
+    if (x.scheduling_us < index.scheduling_us) index = x;
+  }
+  std::printf("comparing event streams...\n");
+  const TimedRun scan_id = RunOnce(/*use_scan=*/true, /*capture_events=*/true);
+  const TimedRun index_id =
+      RunOnce(/*use_scan=*/false, /*capture_events=*/true);
+
+  const bool identical = scan_id.events == index_id.events &&
+                         !scan_id.events.empty() &&
+                         scan.jobs == index.jobs;
+  const double speedup = index.scheduling_us > 0
+                             ? Seconds(scan.scheduling_us) / Seconds(index.scheduling_us)
+                             : 0.0;
+
+  TextTable table({"placer", "scheduling_pass (s)", "experiment (s)", "jobs"});
+  table.AddRow({"scan", std::to_string(Seconds(scan.scheduling_us)),
+                std::to_string(Seconds(scan.total_us)), std::to_string(scan.jobs)});
+  table.AddRow({"index", std::to_string(Seconds(index.scheduling_us)),
+                std::to_string(Seconds(index.total_us)),
+                std::to_string(index.jobs)});
+  std::printf("\n%s", table.Render().c_str());
+  std::printf("speedup: %.2fx (scheduling_pass, scan/index)\n", speedup);
+  std::printf("outputs byte-identical: %s (%zu event bytes)\n",
+              identical ? "yes" : "NO", scan_id.events.size());
+
+  {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"bench\": \"placement_index\",\n"
+                  "  \"days\": %d,\n"
+                  "  \"seed\": %llu,\n"
+                  "  \"jobs\": %zu,\n"
+                  "  \"scan_scheduling_pass_s\": %.6f,\n"
+                  "  \"index_scheduling_pass_s\": %.6f,\n"
+                  "  \"speedup\": %.4f,\n"
+                  "  \"byte_identical\": %s\n"
+                  "}\n",
+                  BenchDays(), static_cast<unsigned long long>(BenchSeed()),
+                  scan.jobs, Seconds(scan.scheduling_us),
+                  Seconds(index.scheduling_us), speedup,
+                  identical ? "true" : "false");
+    out << buf;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: scan and index runs diverged\n");
+    return 1;
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    const JsonValue baseline = JsonValue::Parse(buf.str(), &error);
+    if (!error.empty() || baseline["speedup"].is_null()) {
+      std::fprintf(stderr, "cannot parse baseline %s: %s\n",
+                   baseline_path.c_str(), error.c_str());
+      return 1;
+    }
+    const double baseline_speedup = baseline["speedup"].AsNumber();
+    // Compare ratios, not wall seconds: both runs share the machine, so the
+    // ratio divides CI-runner speed out. >20% below baseline fails.
+    const double floor = 0.8 * baseline_speedup;
+    std::printf("baseline speedup %.2fx, floor %.2fx, measured %.2fx\n",
+                baseline_speedup, floor, speedup);
+    if (speedup < floor) {
+      std::fprintf(stderr,
+                   "FAIL: speedup regressed >20%% vs %s (%.2fx < %.2fx)\n",
+                   baseline_path.c_str(), speedup, floor);
+      return 1;
+    }
+    std::printf("perf smoke: PASS\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace philly
+
+int main(int argc, char** argv) { return philly::Main(argc, argv); }

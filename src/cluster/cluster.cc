@@ -3,8 +3,22 @@
 #include <algorithm>
 #include <cassert>
 #include <charconv>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/common/strings.h"
+
+// The per-mutation index self-check runs wherever asserts do (Debug builds)
+// and in sanitizer builds (which compile with NDEBUG but define
+// PHILLY_INDEX_SELF_CHECK from CMake): an index that drifts from the
+// ground-truth server state would silently change placements, so the builds
+// that exist to catch corruption verify every mutation. Release builds
+// compile the check out of the hot path entirely.
+#if !defined(NDEBUG) || defined(PHILLY_INDEX_SELF_CHECK)
+#define PHILLY_INDEX_SELF_CHECK_ENABLED 1
+#else
+#define PHILLY_INDEX_SELF_CHECK_ENABLED 0
+#endif
 
 namespace philly {
 namespace {
@@ -115,6 +129,84 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
       }
     }
   }
+
+  // Build the free-capacity index: capacity groups (maximal id-runs of equal
+  // capacity), per-rack static maxima, and the free-count buckets. All
+  // servers start online and fully free.
+  for (ServerId s = 0; s < NumServers(); ++s) {
+    max_server_capacity_ = std::max(max_server_capacity_, server_capacity_[s]);
+    if (groups_.empty() || groups_.back().capacity != server_capacity_[s]) {
+      groups_.push_back({s, s, server_capacity_[s]});
+    } else {
+      groups_.back().last = s;
+    }
+    server_group_.push_back(static_cast<int>(groups_.size()) - 1);
+  }
+  rack_max_capacity_.resize(rack_servers_.size(), 0);
+  rack_buckets_.resize(rack_servers_.size());
+  for (RackId r = 0; r < NumRacks(); ++r) {
+    for (ServerId s : rack_servers_[r]) {
+      rack_max_capacity_[r] = std::max(rack_max_capacity_[r], server_capacity_[s]);
+    }
+    rack_buckets_[r].resize(static_cast<size_t>(rack_max_capacity_[r]) + 1);
+    rack_order_.insert({rack_free_[r], r});
+  }
+  group_buckets_.resize(groups_.size());
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    group_buckets_[g].resize(static_cast<size_t>(groups_[g].capacity) + 1);
+  }
+  for (ServerId s = 0; s < NumServers(); ++s) {
+    IndexMoveServer(s, -1, server_capacity_[s]);
+  }
+}
+
+void Cluster::IndexMoveServer(ServerId s, int old_free, int new_free) {
+  auto& rack = rack_buckets_[static_cast<size_t>(server_rack_[s])];
+  auto& group = group_buckets_[static_cast<size_t>(server_group_[s])];
+  if (old_free >= 0) {
+    rack[static_cast<size_t>(old_free)].erase(s);
+    group[static_cast<size_t>(old_free)].erase(s);
+  }
+  if (new_free >= 0) {
+    rack[static_cast<size_t>(new_free)].insert(s);
+    group[static_cast<size_t>(new_free)].insert(s);
+  }
+}
+
+void Cluster::IndexMoveRack(RackId r, int old_free, int new_free) {
+  if (old_free == new_free) {
+    return;
+  }
+  rack_order_.erase({old_free, r});
+  rack_order_.insert({new_free, r});
+}
+
+void Cluster::IndexSelfCheck(ServerId s) const {
+#if PHILLY_INDEX_SELF_CHECK_ENABLED
+  // Sanitizer builds define NDEBUG, so this must not rely on assert().
+  const auto check = [s](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "free-capacity index self-check failed: %s (server %d)\n",
+                   what, static_cast<int>(s));
+      std::abort();
+    }
+  };
+  const RackId r = server_rack_[s];
+  const int free = server_capacity_[s] - server_used_[s];
+  const auto& bucket = RackFreeBucket(r, free);
+  const auto& gbucket =
+      GroupFreeBucket(server_group_[static_cast<size_t>(s)], free);
+  if (server_offline_[s] != 0) {
+    check(bucket.count(s) == 0, "offline server still in rack bucket");
+    check(gbucket.count(s) == 0, "offline server still in group bucket");
+  } else {
+    check(bucket.count(s) == 1, "server missing from its rack bucket");
+    check(gbucket.count(s) == 1, "server missing from its group bucket");
+  }
+  check(rack_order_.count({rack_free_[r], r}) == 1, "rack rank stale");
+#else
+  (void)s;
+#endif
 }
 
 double Cluster::Occupancy() const {
@@ -139,10 +231,17 @@ bool Cluster::Allocate(JobId job, const Placement& placement) {
     }
   }
   for (const auto& shard : placement.shards) {
+    // Validation passed, so the server is online: its pre-mutation free count
+    // really is capacity - used (ServerFree would report 0 for offline).
+    const int old_free = server_capacity_[shard.server] - server_used_[shard.server];
+    const RackId rack = server_rack_[shard.server];
     server_used_[shard.server] += shard.gpus;
-    rack_free_[server_rack_[shard.server]] -= shard.gpus;
+    rack_free_[rack] -= shard.gpus;
     server_tenants_[shard.server].push_back({job, shard.gpus});
     used_gpus_ += shard.gpus;
+    IndexMoveServer(shard.server, old_free, old_free - shard.gpus);
+    IndexMoveRack(rack, rack_free_[rack] + shard.gpus, rack_free_[rack]);
+    IndexSelfCheck(shard.server);
   }
   auto shards = placement.shards;
   std::sort(shards.begin(), shards.end(),
@@ -160,14 +259,21 @@ int Cluster::Release(JobId job) {
   }
   int freed = 0;
   for (const auto& shard : it->second) {
+    // A holding server cannot be offline (SetServerOffline requires a drain),
+    // so its bucketed free count is capacity - used.
+    const int old_free = server_capacity_[shard.server] - server_used_[shard.server];
+    const RackId rack = server_rack_[shard.server];
     server_used_[shard.server] -= shard.gpus;
-    rack_free_[server_rack_[shard.server]] += shard.gpus;
+    rack_free_[rack] += shard.gpus;
     used_gpus_ -= shard.gpus;
     freed += shard.gpus;
     auto& tenants = server_tenants_[shard.server];
     tenants.erase(std::remove_if(tenants.begin(), tenants.end(),
                                  [job](const Tenant& t) { return t.job == job; }),
                   tenants.end());
+    IndexMoveServer(shard.server, old_free, old_free + shard.gpus);
+    IndexMoveRack(rack, rack_free_[rack] - shard.gpus, rack_free_[rack]);
+    IndexSelfCheck(shard.server);
   }
   job_shards_.erase(it);
   return freed;
@@ -215,20 +321,109 @@ void Cluster::SetServerOffline(ServerId s, bool offline) {
   if (ServerOffline(s) == offline) {
     return;
   }
+  const RackId rack = server_rack_[s];
+  const int old_rack_free = rack_free_[rack];
   if (offline) {
     // Callers must evict tenants first; taking capacity away under a running
     // gang would corrupt the used/free bookkeeping.
     assert(server_used_[s] == 0);
     server_offline_[s] = 1;
-    rack_free_[server_rack_[s]] -= server_capacity_[s];
+    rack_free_[rack] -= server_capacity_[s];
     offline_gpus_ += server_capacity_[s];
     ++num_offline_;
+    // Leaves every bucket: an offline server is never a placement candidate.
+    IndexMoveServer(s, server_capacity_[s] - server_used_[s], -1);
   } else {
     server_offline_[s] = 0;
-    rack_free_[server_rack_[s]] += server_capacity_[s];
+    rack_free_[rack] += server_capacity_[s];
     offline_gpus_ -= server_capacity_[s];
     --num_offline_;
+    IndexMoveServer(s, -1, server_capacity_[s] - server_used_[s]);
   }
+  IndexMoveRack(rack, old_rack_free, rack_free_[rack]);
+  IndexSelfCheck(s);
+}
+
+bool Cluster::DebugCheckIndex(std::string* error) const {
+  const auto fail = [error](const std::string& what) {
+    if (error != nullptr) {
+      *error = what;
+    }
+    return false;
+  };
+  // Rebuild every structure from the ground-truth per-server state and
+  // compare. O(servers log servers): test/validation use only.
+  std::vector<std::vector<ServerBucket>> want_rack(rack_servers_.size());
+  std::vector<std::vector<ServerBucket>> want_group(groups_.size());
+  for (RackId r = 0; r < NumRacks(); ++r) {
+    want_rack[static_cast<size_t>(r)].resize(
+        static_cast<size_t>(rack_max_capacity_[r]) + 1);
+  }
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    want_group[g].resize(static_cast<size_t>(groups_[g].capacity) + 1);
+  }
+  int want_max_cap = 0;
+  for (ServerId s = 0; s < NumServers(); ++s) {
+    want_max_cap = std::max(want_max_cap, server_capacity_[s]);
+    const int g = server_group_[static_cast<size_t>(s)];
+    if (s < groups_[static_cast<size_t>(g)].first ||
+        s > groups_[static_cast<size_t>(g)].last ||
+        server_capacity_[s] != groups_[static_cast<size_t>(g)].capacity) {
+      return fail("server " + std::to_string(s) + " mapped to wrong capacity group");
+    }
+    if (server_offline_[s] != 0) {
+      continue;  // offline servers belong to no bucket
+    }
+    const int free = server_capacity_[s] - server_used_[s];
+    if (free < 0 || free > server_capacity_[s]) {
+      return fail("server " + std::to_string(s) + " has impossible free count " +
+                  std::to_string(free));
+    }
+    want_rack[static_cast<size_t>(server_rack_[s])][static_cast<size_t>(free)]
+        .insert(s);
+    want_group[static_cast<size_t>(g)][static_cast<size_t>(free)].insert(s);
+  }
+  if (want_max_cap != max_server_capacity_) {
+    return fail("stale max server capacity");
+  }
+  for (RackId r = 0; r < NumRacks(); ++r) {
+    for (int f = 0; f <= rack_max_capacity_[r]; ++f) {
+      if (RackFreeBucket(r, f) !=
+          want_rack[static_cast<size_t>(r)][static_cast<size_t>(f)]) {
+        return fail("rack " + std::to_string(r) + " bucket free=" +
+                    std::to_string(f) + " diverges from rescan");
+      }
+    }
+    // Rack free must equal the sum of online server frees.
+    int sum = 0;
+    for (ServerId s : rack_servers_[r]) {
+      if (server_offline_[s] == 0) {
+        sum += server_capacity_[s] - server_used_[s];
+      }
+    }
+    if (sum != rack_free_[r]) {
+      return fail("rack " + std::to_string(r) + " free count " +
+                  std::to_string(rack_free_[r]) + " != online-server sum " +
+                  std::to_string(sum));
+    }
+  }
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (int f = 0; f <= groups_[g].capacity; ++f) {
+      if (GroupFreeBucket(static_cast<int>(g), f) !=
+          want_group[g][static_cast<size_t>(f)]) {
+        return fail("capacity group " + std::to_string(g) + " bucket free=" +
+                    std::to_string(f) + " diverges from rescan");
+      }
+    }
+  }
+  std::set<RackRank> want_order;
+  for (RackId r = 0; r < NumRacks(); ++r) {
+    want_order.insert({rack_free_[r], r});
+  }
+  if (want_order != rack_order_) {
+    return fail("ranked rack order diverges from rescan");
+  }
+  return true;
 }
 
 double Cluster::CpuCoresFor(ServerId s, int gpus) const {

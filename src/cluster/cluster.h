@@ -13,6 +13,7 @@
 #define SRC_CLUSTER_CLUSTER_H_
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -68,6 +69,21 @@ struct Placement {
 // the scheduler event log.
 std::string EncodePlacement(const Placement& placement);
 Placement DecodePlacement(std::string_view text);
+
+// Rack ranking key for the free-capacity index: emptiest rack first, ties by
+// id — the canonical deterministic order the placer's rack scans use (see
+// docs/placement-index.md).
+struct RackRank {
+  int free = 0;
+  RackId rack = -1;
+  bool operator<(const RackRank& other) const {
+    if (free != other.free) {
+      return free > other.free;
+    }
+    return rack < other.rack;
+  }
+  bool operator==(const RackRank& other) const = default;
+};
 
 class Cluster {
  public:
@@ -132,7 +148,59 @@ class Cluster {
   bool ServerOffline(ServerId s) const { return server_offline_[s] != 0; }
   int NumOfflineServers() const { return num_offline_; }
 
+  // --- free-capacity index -------------------------------------------------
+  // Incrementally maintained placement index (docs/placement-index.md): the
+  // placer's queries ("emptiest rack", "tightest server that fits", "servers
+  // of rack r with k free GPUs") resolve against these structures instead of
+  // scanning and sorting all servers. Every Allocate/Release/SetServerOffline
+  // updates the index in O(log n); an offline server appears in no bucket.
+
+  // Maximal run of consecutive server ids with equal GPU capacity (one per
+  // SkuGroup in practice). The single-server best-fit fold iterates groups in
+  // id order, which reproduces the legacy whole-cluster scan exactly.
+  struct CapacityGroup {
+    ServerId first = 0;
+    ServerId last = 0;  // inclusive
+    int capacity = 0;
+  };
+  // Online servers with one exact free-GPU count, ascending id.
+  using ServerBucket = std::set<ServerId>;
+
+  int MaxServerCapacity() const { return max_server_capacity_; }
+  // Largest single-server capacity in rack r (static; offline-independent).
+  int RackMaxServerCapacity(RackId r) const { return rack_max_capacity_[r]; }
+  int NumCapacityGroups() const { return static_cast<int>(groups_.size()); }
+  const CapacityGroup& Group(int g) const { return groups_[static_cast<size_t>(g)]; }
+  // Online servers of capacity group g with exactly `free` GPUs free.
+  // `free` must be in [0, Group(g).capacity].
+  const ServerBucket& GroupFreeBucket(int g, int free) const {
+    return group_buckets_[static_cast<size_t>(g)][static_cast<size_t>(free)];
+  }
+  // Online servers of rack r with exactly `free` GPUs free.
+  // `free` must be in [0, RackMaxServerCapacity(r)].
+  const ServerBucket& RackFreeBucket(RackId r, int free) const {
+    return rack_buckets_[static_cast<size_t>(r)][static_cast<size_t>(free)];
+  }
+  // All racks ordered by (free GPUs descending, id ascending), kept current
+  // across allocations, releases, and offline transitions.
+  const std::set<RackRank>& RankedRackIndex() const { return rack_order_; }
+
+  // Full-rescan validation of the index against the ground-truth per-server
+  // state. Returns true when every bucket, group, and rack-rank entry matches
+  // a from-scratch rebuild; on mismatch returns false and describes the first
+  // divergence in *error. The differential test harness calls this after
+  // every mutation; sanitizer/Debug builds additionally run a cheap
+  // per-mutation membership self-check inside the mutators.
+  bool DebugCheckIndex(std::string* error = nullptr) const;
+
  private:
+  // Moves server s between free-count buckets (old_free < 0: not present,
+  // i.e. coming back online; new_free < 0: remove, i.e. going offline).
+  void IndexMoveServer(ServerId s, int old_free, int new_free);
+  // Re-keys rack r in the ranked rack order.
+  void IndexMoveRack(RackId r, int old_free, int new_free);
+  // Cheap per-mutation invariant check (sanitizer/Debug builds only).
+  void IndexSelfCheck(ServerId s) const;
   int total_gpus_ = 0;
   int used_gpus_ = 0;
   int offline_gpus_ = 0;
@@ -149,6 +217,15 @@ class Cluster {
   // JobId -> shards held; PlacementOf() returns shards sorted by server id so
   // iteration order stays deterministic.
   std::unordered_map<JobId, std::vector<PlacementShard>> job_shards_;
+
+  // Free-capacity index state (see the public index section above).
+  int max_server_capacity_ = 0;
+  std::vector<CapacityGroup> groups_;
+  std::vector<int> server_group_;
+  std::vector<int> rack_max_capacity_;
+  std::vector<std::vector<ServerBucket>> rack_buckets_;   // [rack][free]
+  std::vector<std::vector<ServerBucket>> group_buckets_;  // [group][free]
+  std::set<RackRank> rack_order_;
 };
 
 }  // namespace philly

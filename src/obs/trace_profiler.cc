@@ -36,6 +36,17 @@ size_t TraceProfiler::size() const {
   return slices_.size();
 }
 
+int64_t TraceProfiler::TotalDurationOf(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const Slice& slice : slices_) {
+    if (slice.name == name) {
+      total += slice.dur_us;
+    }
+  }
+  return total;
+}
+
 void TraceProfiler::WriteChromeTrace(std::ostream& out) const {
   std::vector<Slice> slices;
   {

@@ -43,6 +43,11 @@ class TraceProfiler {
 
   size_t size() const;
 
+  // Sum of the durations of every recorded slice named `name`, across all
+  // tracks. What the placement-index perf bench reads to compare the
+  // scheduling_pass phase between runs without round-tripping Chrome JSON.
+  int64_t TotalDurationOf(std::string_view name) const;
+
   // {"traceEvents": [...]} — the Chrome trace-event JSON format.
   void WriteChromeTrace(std::ostream& out) const;
 

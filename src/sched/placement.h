@@ -15,6 +15,28 @@
 //   level 1 — single RDMA domain, any server count
 //   level 2 — minimum server count per rack-major scan, domains may be mixed
 //   level 3 — any free GPUs anywhere (up to a spread cap)
+//
+// Deterministic candidate order (the contract both implementations obey, and
+// the one the free-capacity index reproduces bit-for-bit — see
+// docs/placement-index.md):
+//   racks:                (free GPUs descending, rack id ascending)
+//   servers in a rack:    (free GPUs descending, server id ascending)
+//   rack-major scan:      racks in rack order, each rack's servers in
+//                         server order
+//   emptiest-first scan:  (free GPUs descending, rack free descending,
+//                         rack id ascending, server id ascending) — i.e. the
+//                         rack-major scan re-sorted by free GPUs with ties
+//                         broken by the rack-major position
+//   single-server search: one pass over servers in id order, keeping the
+//                         tightest fit (best-fit) or the emptiest server
+//                         (worst-fit) depending on whether the job packs;
+//                         ties keep the lower id
+//
+// FindPlacement resolves these orders against the Cluster's incrementally
+// maintained free-capacity index in O(result) instead of scanning and
+// sorting every server per call. FindPlacementScan is the legacy full-scan
+// reference implementation; tests/placement_index_diff_test.cc holds the two
+// byte-identical over randomized alloc/release/offline sequences.
 
 #ifndef SRC_SCHED_PLACEMENT_H_
 #define SRC_SCHED_PLACEMENT_H_
@@ -35,6 +57,10 @@ struct PlacerConfig {
   // Upper bound on servers a fully relaxed job may spread over (the paper
   // observes >8-GPU jobs landing on up to 16 servers).
   int max_spread_servers = 16;
+  // Route FindPlacement through the legacy full-scan reference instead of
+  // the free-capacity index. Exists for differential testing and for the
+  // perf baseline in bench/placement_index.cc; results are identical.
+  bool use_scan_reference = false;
 };
 
 class LocalityPlacer {
@@ -46,9 +72,33 @@ class LocalityPlacer {
   std::optional<Placement> FindPlacement(const Cluster& cluster, int gpus,
                                          int relax_level) const;
 
+  // Feasibility-only form of FindPlacement: answers "would a placement
+  // exist?" through the same index-backed search without materializing the
+  // shards. Used by the scheduling pass's out-of-order benign precheck.
+  bool CanPlace(const Cluster& cluster, int gpus, int relax_level) const;
+
+  // Legacy full-scan reference implementation (sorts racks and servers from
+  // scratch per call). Kept as the ground truth for the differential test
+  // harness and the perf baseline; FindPlacement must match it exactly.
+  std::optional<Placement> FindPlacementScan(const Cluster& cluster, int gpus,
+                                             int relax_level) const;
+
   const PlacerConfig& config() const { return config_; }
 
  private:
+  // --- index-backed search (shared by FindPlacement and CanPlace) ---
+  // Each helper returns the number of servers in the found placement, or -1
+  // if none exists. With a non-null `out`, the winning shards are appended;
+  // a failed search leaves `out` untouched.
+  int SearchIndexed(const Cluster& cluster, int gpus, int relax_level,
+                    Placement* out) const;
+  int SingleServerIndexed(const Cluster& cluster, int gpus, Placement* out) const;
+  int SingleRackIndexed(const Cluster& cluster, int gpus, bool min_servers,
+                        Placement* out) const;
+  int AnywhereIndexed(const Cluster& cluster, int gpus, bool min_servers,
+                      Placement* out) const;
+
+  // --- legacy scan helpers ---
   std::optional<Placement> PlaceOnSingleServer(const Cluster& cluster, int gpus) const;
   std::optional<Placement> PlaceInSingleRack(const Cluster& cluster, int gpus,
                                              bool min_servers) const;

@@ -518,15 +518,13 @@ bool ClusterSimulation::TryStartJob(JobState& job, bool earlier_job_waiting,
     // *locality*; overtaking it is benign as long as its fully-relaxed
     // placement opportunity survives this job's allocation (or never existed).
     before_feasible =
-        placer_.FindPlacement(cluster_, earlier_waiting_demand, kMaxRelaxLevel)
-            .has_value();
+        placer_.CanPlace(cluster_, earlier_waiting_demand, kMaxRelaxLevel);
   }
 
   StartAttempt(job, *placement);
   if (benign_pending) {
     const bool after_feasible =
-        placer_.FindPlacement(cluster_, earlier_waiting_demand, kMaxRelaxLevel)
-            .has_value();
+        placer_.CanPlace(cluster_, earlier_waiting_demand, kMaxRelaxLevel);
     job.record.out_of_order_benign = !before_feasible || after_feasible;
     if (job.record.out_of_order_benign) {
       ++result_.out_of_order_benign;

@@ -1,0 +1,165 @@
+// Golden determinism test: a fixed (seed, config) experiment must reproduce
+// the committed scheduler event stream and Table 2 report byte for byte, on
+// every machine and in CI. This guards the whole deterministic pipeline —
+// workload generation, the scheduler's decision order, the placement index's
+// canonical candidate orders, and the NDJSON/ report serialization — against
+// accidental drift: any behavioural change shows up as a golden diff that has
+// to be reviewed and regenerated on purpose.
+//
+// To regenerate after an intentional change:
+//   PHILLY_UPDATE_GOLDEN=1 build/tests/golden_determinism_test
+// then commit the rewritten files under tests/golden/ with the change that
+// caused them.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/analysis.h"
+#include "src/core/experiment.h"
+#include "src/common/table.h"
+#include "src/obs/event_log.h"
+
+namespace philly {
+namespace {
+
+#ifndef PHILLY_TESTS_DIR
+#error "PHILLY_TESTS_DIR must point at the tests/ source directory"
+#endif
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(PHILLY_TESTS_DIR) + "/golden/" + name;
+}
+
+// Small fixed workload: one day of arrivals at a fifth of the paper's rates
+// against a quarter-size cluster with a warm-start cohort near its capacity,
+// so the stream exercises queueing, fair-share vs fragmentation delays, and
+// locality relaxation but stays around a thousand events.
+ExperimentConfig GoldenConfig() {
+  ExperimentConfig config = ExperimentConfig::BenchScale(/*days=*/1, /*seed=*/7);
+  for (VcConfig& vc : config.workload.vcs) {
+    vc.arrival_rate_per_hour *= 0.3;
+  }
+  config.simulation.cluster.skus.clear();
+  config.simulation.cluster.skus.push_back(
+      {/*racks=*/4, /*servers_per_rack=*/16, /*gpus_per_server=*/8});
+  config.simulation.cluster.skus.push_back(
+      {/*racks=*/1, /*servers_per_rack=*/24, /*gpus_per_server=*/2});
+  config.workload.prepopulate_busy_gpus = 536;
+  return config;
+}
+
+std::string FormatFraction(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  return buf;
+}
+
+// Renders Table 2 (delay causes) in a fixed format. Kept deliberately local
+// to this test: the golden guards the analysis numbers, not phillyctl's
+// presentation, and a fixed 4-decimal encoding avoids any locale or
+// float-printing variance.
+std::string RenderTable2(const DelayCauseResult& causes) {
+  TextTable table({"bucket", "fair-share", "fragmentation", "out-of-order"});
+  for (int b = 1; b < kNumSizeBuckets; ++b) {
+    const auto& cell = causes.by_bucket[static_cast<size_t>(b)];
+    table.AddRow({std::string(ToString(static_cast<SizeBucket>(b))),
+                  std::to_string(cell.fair_share),
+                  std::to_string(cell.fragmentation),
+                  FormatFraction(causes.out_of_order_by_bucket[static_cast<size_t>(b)])});
+  }
+  std::ostringstream out;
+  out << "=== Table 2: delay causes ===\n" << table.Render();
+  out << "fair_share_time_fraction " << FormatFraction(causes.fair_share_time_fraction)
+      << "\n";
+  out << "fragmentation_time_fraction "
+      << FormatFraction(causes.fragmentation_time_fraction) << "\n";
+  out << "out_of_order_fraction " << FormatFraction(causes.out_of_order_fraction)
+      << "\n";
+  out << "out_of_order_benign_fraction "
+      << FormatFraction(causes.out_of_order_benign_fraction) << "\n";
+  return out.str();
+}
+
+bool UpdateRequested() {
+  const char* env = std::getenv("PHILLY_UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void CompareOrUpdate(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (UpdateRequested()) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  const std::string expected = ReadFileOrEmpty(path);
+  ASSERT_FALSE(expected.empty())
+      << path << " missing or empty; regenerate with PHILLY_UPDATE_GOLDEN=1";
+  if (expected != actual) {
+    // Locate the first differing line for a reviewable failure message.
+    std::istringstream a(expected);
+    std::istringstream b(actual);
+    std::string la;
+    std::string lb;
+    int line = 0;
+    while (true) {
+      ++line;
+      const bool ga = static_cast<bool>(std::getline(a, la));
+      const bool gb = static_cast<bool>(std::getline(b, lb));
+      if (!ga && !gb) {
+        break;
+      }
+      if (la != lb || ga != gb) {
+        FAIL() << name << " diverges at line " << line << "\n  golden: "
+               << (ga ? la : "<eof>") << "\n  actual: " << (gb ? lb : "<eof>")
+               << "\nIf the change is intentional, regenerate with "
+                  "PHILLY_UPDATE_GOLDEN=1 and commit the diff.";
+      }
+    }
+    FAIL() << name << " differs from golden (same lines, different bytes?)";
+  }
+}
+
+TEST(GoldenDeterminismTest, EventStreamAndTable2MatchCommittedGolden) {
+  EventLog log;
+  ExperimentConfig config = GoldenConfig();
+  config.simulation.obs.event_log = &log;
+  const ExperimentRun run = RunExperiment(config);
+
+  std::ostringstream events;
+  log.WriteNdjson(events);
+  CompareOrUpdate("events.ndjson", events.str());
+
+  const DelayCauseResult causes = AnalyzeDelayCauses(run.result.jobs, &run.result);
+  CompareOrUpdate("table2.txt", RenderTable2(causes));
+}
+
+// The golden stream must also be independent of observability: re-running the
+// same config without the event log attached yields identical job records
+// (spot-checked via the Table 2 numbers).
+TEST(GoldenDeterminismTest, SinksDoNotPerturbTheRun) {
+  EventLog log;
+  ExperimentConfig with_log = GoldenConfig();
+  with_log.simulation.obs.event_log = &log;
+  const ExperimentRun a = RunExperiment(with_log);
+  const ExperimentRun b = RunExperiment(GoldenConfig());
+  ASSERT_EQ(a.result.jobs.size(), b.result.jobs.size());
+  EXPECT_EQ(RenderTable2(AnalyzeDelayCauses(a.result.jobs, &a.result)),
+            RenderTable2(AnalyzeDelayCauses(b.result.jobs, &b.result)));
+}
+
+}  // namespace
+}  // namespace philly

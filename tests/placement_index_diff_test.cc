@@ -1,0 +1,260 @@
+// Differential harness for the free-capacity placement index.
+//
+// The index-backed FindPlacement/CanPlace must be observably indistinguishable
+// from the legacy full-scan reference (FindPlacementScan) — not just "a valid
+// placement" but the exact same shards in the exact same order, so that every
+// downstream artifact (SimulationResult, NDJSON event streams, bench tables)
+// stays byte-identical. This file drives that equivalence three ways:
+//
+//   * Randomized alloc/release/offline/online sequences over small clusters,
+//     cross-checking index vs scan for a sweep of demands, relax levels, and
+//     placer configurations after every mutation, and running
+//     Cluster::DebugCheckIndex's full rescan each step.
+//   * A fragmentation-heavy adversarial sequence that keeps many servers at
+//     equal free counts, stressing the tie-break orders.
+//   * Whole simulations (including machine faults, checkpointing, migration,
+//     and the prerun pool) run twice — scan placer vs index placer — whose
+//     scheduler event streams must serialize to byte-identical NDJSON.
+
+#include "src/sched/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/experiment.h"
+#include "src/fault/fault_process.h"
+#include "src/obs/event_log.h"
+
+namespace philly {
+namespace {
+
+// Three SKUs so the single-server fold crosses capacity-group boundaries in
+// both directions (8 -> 2 -> 4).
+ClusterConfig MixedSkus() {
+  ClusterConfig config;
+  config.skus.push_back({/*racks=*/2, /*servers_per_rack=*/4, /*gpus_per_server=*/8});
+  config.skus.push_back({/*racks=*/1, /*servers_per_rack=*/6, /*gpus_per_server=*/2});
+  config.skus.push_back({/*racks=*/2, /*servers_per_rack=*/3, /*gpus_per_server=*/4});
+  return config;
+}
+
+std::string ShardsToString(const Placement& placement) {
+  return EncodePlacement(placement);
+}
+
+// Asserts the index path and the scan path agree for one query, shard for
+// shard, and that CanPlace tells the same story as FindPlacement.
+void ExpectSameSearch(const LocalityPlacer& placer, const Cluster& cluster,
+                      int gpus, int level) {
+  const auto scan = placer.FindPlacementScan(cluster, gpus, level);
+  const auto indexed = placer.FindPlacement(cluster, gpus, level);
+  ASSERT_EQ(scan.has_value(), indexed.has_value())
+      << "gpus=" << gpus << " level=" << level;
+  if (scan.has_value()) {
+    ASSERT_EQ(ShardsToString(*scan), ShardsToString(*indexed))
+        << "gpus=" << gpus << " level=" << level;
+  }
+  ASSERT_EQ(placer.CanPlace(cluster, gpus, level), indexed.has_value())
+      << "gpus=" << gpus << " level=" << level;
+}
+
+void CheckIndex(const Cluster& cluster) {
+  std::string error;
+  ASSERT_TRUE(cluster.DebugCheckIndex(&error)) << error;
+}
+
+// The placer configurations the simulator actually uses: the default packing
+// placer, the §5 dedicated-servers ablation, and a tight spread cap.
+std::vector<LocalityPlacer> PlacerVariants() {
+  std::vector<LocalityPlacer> placers;
+  placers.emplace_back();
+  PlacerConfig dedicated;
+  dedicated.pack_small_jobs = false;
+  placers.emplace_back(dedicated);
+  PlacerConfig tight;
+  tight.max_spread_servers = 3;
+  placers.emplace_back(tight);
+  return placers;
+}
+
+void SweepQueries(const std::vector<LocalityPlacer>& placers,
+                  const Cluster& cluster) {
+  for (const LocalityPlacer& placer : placers) {
+    for (int gpus : {1, 2, 3, 5, 8, 9, 16, 24}) {
+      for (int level = 0; level <= kMaxRelaxLevel; ++level) {
+        ExpectSameSearch(placer, cluster, gpus, level);
+        if (::testing::Test::HasFatalFailure()) {
+          return;
+        }
+      }
+    }
+  }
+}
+
+class RandomizedDiff
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(RandomizedDiff, IndexMatchesScanUnderChurn) {
+  const auto [seed, mixed] = GetParam();
+  Rng rng(seed);
+  Cluster cluster(mixed ? MixedSkus() : ClusterConfig::Small());
+  const std::vector<LocalityPlacer> placers = PlacerVariants();
+  const LocalityPlacer& allocator = placers.front();
+
+  JobId next = 1;
+  std::vector<JobId> held;
+  std::vector<ServerId> offline;
+  for (int step = 0; step < 700; ++step) {
+    const double roll = rng.Uniform();
+    if (roll < 0.45) {
+      // Allocate through the index path; the sweep below already proved it
+      // equal to the scan for every (gpus, level) pair this can draw.
+      const int gpus = static_cast<int>(rng.Between(1, 20));
+      const int level = static_cast<int>(rng.Between(0, kMaxRelaxLevel));
+      const auto placement = allocator.FindPlacement(cluster, gpus, level);
+      if (placement.has_value()) {
+        ASSERT_TRUE(cluster.Allocate(next, *placement));
+        held.push_back(next++);
+      }
+    } else if (roll < 0.80) {
+      if (!held.empty()) {
+        const size_t pick = rng.Below(held.size());
+        cluster.Release(held[pick]);
+        held.erase(held.begin() + static_cast<long>(pick));
+      }
+    } else if (roll < 0.90) {
+      // Machine fault: kill every tenant of a random server (the simulator
+      // releases gangs before draining the machine), then take it offline.
+      const ServerId victim =
+          static_cast<ServerId>(rng.Below(static_cast<uint64_t>(cluster.NumServers())));
+      if (!cluster.ServerOffline(victim)) {
+        while (!cluster.TenantsOnServer(victim).empty()) {
+          const JobId job = cluster.TenantsOnServer(victim).front().job;
+          cluster.Release(job);
+          held.erase(std::find(held.begin(), held.end(), job));
+          CheckIndex(cluster);
+        }
+        cluster.SetServerOffline(victim, true);
+        offline.push_back(victim);
+      }
+    } else if (!offline.empty()) {
+      // Repair: bring a random offline server back.
+      const size_t pick = rng.Below(offline.size());
+      cluster.SetServerOffline(offline[pick], false);
+      offline.erase(offline.begin() + static_cast<long>(pick));
+    }
+    CheckIndex(cluster);
+    SweepQueries(placers, cluster);
+    if (HasFatalFailure()) {
+      FAIL() << "diverged at step " << step << " (seed " << seed << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedDiff,
+                         ::testing::Combine(::testing::Values(3, 17, 101),
+                                            ::testing::Bool()));
+
+// Every 8-GPU server held at the same free count exercises the id tie-breaks
+// (bucket iteration order) rather than the free-count ordering.
+TEST(PlacementIndexDiffTest, UniformFragmentationStressesTieBreaks) {
+  Cluster cluster(ClusterConfig::Small());
+  const std::vector<LocalityPlacer> placers = PlacerVariants();
+  JobId next = 1;
+  for (int used = 1; used <= 7; ++used) {
+    for (ServerId s = 0; s < cluster.NumServers(); ++s) {
+      if (cluster.ServerCapacity(s) < 8) {
+        continue;
+      }
+      Placement p;
+      p.shards.push_back({s, 1});
+      ASSERT_TRUE(cluster.Allocate(next++, p));
+      CheckIndex(cluster);
+    }
+    SweepQueries(placers, cluster);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure()) << "used=" << used;
+  }
+}
+
+TEST(PlacementIndexDiffTest, OfflineServersNeverSurfaceFromTheIndex) {
+  Cluster cluster(ClusterConfig::Small());
+  LocalityPlacer placer;
+  // Take rack 0 fully offline; placements must come from the other racks and
+  // both paths must agree on that.
+  for (ServerId s : cluster.ServersInRack(0)) {
+    cluster.SetServerOffline(s, true);
+    CheckIndex(cluster);
+  }
+  for (int gpus : {1, 8, 16}) {
+    for (int level = 0; level <= kMaxRelaxLevel; ++level) {
+      ExpectSameSearch(placer, cluster, gpus, level);
+      const auto placement = placer.FindPlacement(cluster, gpus, level);
+      if (placement.has_value()) {
+        for (const PlacementShard& shard : placement->shards) {
+          EXPECT_NE(cluster.ServerRack(shard.server), 0);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-simulation byte-identity: the same experiment run with the scan
+// placer and with the index placer must emit byte-identical scheduler event
+// streams (which encode every placement) and identical decision counters.
+
+std::string RunAndSerialize(ExperimentConfig config, bool use_scan,
+                            SimulationResult* result_out) {
+  EventLog log;
+  config.simulation.obs.event_log = &log;
+  config.simulation.scheduler.placer.use_scan_reference = use_scan;
+  ExperimentRun run = RunExperiment(config);
+  *result_out = std::move(run.result);
+  std::ostringstream out;
+  log.WriteNdjson(out);
+  return out.str();
+}
+
+void ExpectByteIdenticalRuns(const ExperimentConfig& config) {
+  SimulationResult scan_result;
+  SimulationResult index_result;
+  const std::string scan_events = RunAndSerialize(config, /*use_scan=*/true, &scan_result);
+  const std::string index_events =
+      RunAndSerialize(config, /*use_scan=*/false, &index_result);
+  ASSERT_FALSE(scan_events.empty());
+  EXPECT_EQ(scan_events, index_events);
+  EXPECT_EQ(scan_result.jobs.size(), index_result.jobs.size());
+  EXPECT_EQ(scan_result.preemptions, index_result.preemptions);
+  EXPECT_EQ(scan_result.priority_preemptions, index_result.priority_preemptions);
+  EXPECT_EQ(scan_result.migrations, index_result.migrations);
+  EXPECT_EQ(scan_result.out_of_order_benign, index_result.out_of_order_benign);
+}
+
+TEST(PlacementIndexDiffTest, SimulationEventStreamByteIdentical) {
+  ExpectByteIdenticalRuns(ExperimentConfig::BenchScale(/*days=*/1, /*seed=*/11));
+}
+
+TEST(PlacementIndexDiffTest, SimulationWithFaultsAndMigrationByteIdentical) {
+  ExperimentConfig config = ExperimentConfig::BenchScale(/*days=*/1, /*seed=*/7);
+  config.simulation.fault = FaultProcessConfig::Calibrated();
+  config.simulation.scheduler.checkpoint_period = Minutes(360);
+  config.simulation.scheduler.enable_migration = true;
+  config.simulation.scheduler.enable_prerun_pool = true;
+  ExpectByteIdenticalRuns(config);
+}
+
+TEST(PlacementIndexDiffTest, SimulationDedicatedStrictLocalityByteIdentical) {
+  ExperimentConfig config = ExperimentConfig::BenchScale(/*days=*/1, /*seed=*/9);
+  config.simulation.scheduler.placer.pack_small_jobs = false;
+  config.simulation.scheduler.max_relax_level = 0;
+  ExpectByteIdenticalRuns(config);
+}
+
+}  // namespace
+}  // namespace philly
