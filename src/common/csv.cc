@@ -1,5 +1,6 @@
 #include "src/common/csv.h"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
 
@@ -27,6 +28,12 @@ void WriteField(std::ostream& out, std::string_view field) {
 }
 
 }  // namespace
+
+std::string CsvWriter::ToField(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
 
 void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
   for (size_t i = 0; i < fields.size(); ++i) {

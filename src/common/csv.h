@@ -35,6 +35,9 @@ class CsvWriter {
   static std::string ToField(const std::string& s) { return s; }
   static std::string ToField(std::string_view s) { return std::string(s); }
   static std::string ToField(const char* s) { return s; }
+  // Shortest decimal that round-trips to the same double, so written traces
+  // re-read bitwise-equal (std::to_string's fixed 6 decimals do not).
+  static std::string ToField(double v);
   template <typename T>
   static std::string ToField(const T& v) {
     return std::to_string(v);

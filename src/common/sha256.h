@@ -1,0 +1,18 @@
+// Self-contained SHA-256 (FIPS 180-4) for stream-integrity digests in run
+// manifests. Not a general crypto library: one-shot hashing of in-memory
+// buffers is all the observability sinks need.
+
+#ifndef SRC_COMMON_SHA256_H_
+#define SRC_COMMON_SHA256_H_
+
+#include <string>
+#include <string_view>
+
+namespace philly {
+
+// Lower-case hex digest (64 characters) of `data`.
+std::string Sha256Hex(std::string_view data);
+
+}  // namespace philly
+
+#endif  // SRC_COMMON_SHA256_H_

@@ -280,6 +280,40 @@ UtilizationResult AnalyzeUtilization(const std::vector<JobRecord>& jobs,
   return result;
 }
 
+TelemetryDigest ComputeUtilDigest(const std::vector<JobRecord>& jobs,
+                                  SamplerConfig sampler_config, uint64_t seed) {
+  TelemetryDigest digest;
+  GangliaSampler sampler(sampler_config);
+  digest.jobs = static_cast<int64_t>(jobs.size());
+  // Mirrors AnalyzeUtilization exactly — same per-segment seed, same sample
+  // stream, same accumulation order — so writer and checker agree bitwise.
+  for (const auto& job : jobs) {
+    const int rep = RepresentativeIndex(job.spec.num_gpus);
+    const double gpu_weight = job.spec.num_gpus;
+    int segment_index = 0;
+    for (const auto& segment : job.util_segments) {
+      ++digest.segments;
+      const uint64_t seg_seed =
+          Mix64(seed ^ (static_cast<uint64_t>(job.spec.id) << 18) ^
+                static_cast<uint64_t>(segment_index));
+      ++segment_index;
+      sampler.SampleSegment(
+          segment.expected_util, segment.duration, seg_seed,
+          [&](double value, double weight) {
+            const double w = weight * gpu_weight;
+            digest.util_weight[TelemetryDigest::kOverallClass] += w;
+            digest.util_weighted_sum[TelemetryDigest::kOverallClass] +=
+                value * w;
+            if (rep >= 0) {
+              digest.util_weight[static_cast<size_t>(rep)] += w;
+              digest.util_weighted_sum[static_cast<size_t>(rep)] += value * w;
+            }
+          });
+    }
+  }
+  return digest;
+}
+
 // ------------------------------------------------------------------- Fig 7
 
 HostResourceResult::HostResourceResult()

@@ -24,6 +24,7 @@
 
 #include "src/common/stats.h"
 #include "src/failure/failure_catalog.h"
+#include "src/obs/rollup.h"
 #include "src/sched/records.h"
 #include "src/workload/generator.h"
 #include "src/telemetry/sampler.h"
@@ -116,6 +117,15 @@ struct UtilizationResult {
 };
 UtilizationResult AnalyzeUtilization(const std::vector<JobRecord>& jobs,
                                      SamplerConfig sampler = {}, uint64_t seed = 17);
+
+// Fills the job-derived half of a TelemetryDigest: exact Table 3 utilization
+// aggregates (per representative size class plus overall), accumulated with
+// the SAME per-segment sampling and iteration order as AnalyzeUtilization so
+// two invocations over equal job records are bitwise-equal. This is the
+// cross-check `phillyctl analyze --telemetry` runs against the digest the
+// writer embedded in the telemetry stream.
+TelemetryDigest ComputeUtilDigest(const std::vector<JobRecord>& jobs,
+                                  SamplerConfig sampler = {}, uint64_t seed = 17);
 
 // ---------------------------------------------------------------- Figure 7
 struct HostResourceResult {

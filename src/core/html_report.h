@@ -1,0 +1,40 @@
+// Self-contained HTML dashboard for a simulated run — the visual layer over
+// the three log streams. Renders inline SVG only: no scripts, no external
+// stylesheets, no fetched assets, so the file can be archived next to the
+// run's manifest and opened anywhere (including the CI artifact browser).
+//
+// Charts: utilization / occupancy and queue-depth time series from the
+// telemetry rollup, the Fig 1 job-lifecycle funnel from the scheduler event
+// stream, Fig 3 queue-delay CDFs, and Fig 8 convergence CDFs from the job
+// records.
+
+#ifndef SRC_CORE_HTML_REPORT_H_
+#define SRC_CORE_HTML_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/event_log.h"
+#include "src/obs/timeseries.h"
+#include "src/sched/records.h"
+
+namespace philly {
+
+struct HtmlDashboardInput {
+  std::string title = "philly run";
+  // Required: the per-minute telemetry stream.
+  const std::vector<TelemetrySample>* samples = nullptr;
+  // Optional: scheduler events (Fig 1 funnel) and job records (Fig 3/8 CDFs).
+  const std::vector<SchedEvent>* events = nullptr;
+  const std::vector<JobRecord>* jobs = nullptr;
+  // Downsampling window for the time-series charts.
+  SimDuration rollup_window = Hours(1);
+};
+
+std::string RenderHtmlDashboard(const HtmlDashboardInput& input);
+// Writes the dashboard to `path`; returns false if the file cannot be opened.
+bool WriteHtmlDashboard(const std::string& path, const HtmlDashboardInput& input);
+
+}  // namespace philly
+
+#endif  // SRC_CORE_HTML_REPORT_H_

@@ -122,19 +122,22 @@ void ExperimentPool::ParallelFor(int n, const std::function<void(int)>& fn) cons
 std::vector<ExperimentRun> ExperimentPool::RunMany(
     std::vector<ExperimentConfig> configs) const {
   // Shared metrics/profiler sinks are thread-safe and may appear in every
-  // config, but an EventLog belongs to exactly one run: concurrent appends
-  // from two simulations would interleave (and race). Catch the misuse before
-  // it corrupts a stream.
+  // config, but an EventLog or ClusterTimeSeries belongs to exactly one run:
+  // concurrent appends from two simulations would interleave (and race).
+  // Catch the misuse before it corrupts a stream.
   for (size_t i = 0; i < configs.size(); ++i) {
     const EventLog* log = configs[i].simulation.obs.event_log;
-    if (log == nullptr) {
-      continue;
-    }
+    const ClusterTimeSeries* ts = configs[i].simulation.obs.timeseries;
     for (size_t j = i + 1; j < configs.size(); ++j) {
-      if (configs[j].simulation.obs.event_log == log) {
+      if (log != nullptr && configs[j].simulation.obs.event_log == log) {
         throw std::invalid_argument(
             "ExperimentPool::RunMany: the same EventLog is attached to more "
             "than one config; event logs are per-run");
+      }
+      if (ts != nullptr && configs[j].simulation.obs.timeseries == ts) {
+        throw std::invalid_argument(
+            "ExperimentPool::RunMany: the same ClusterTimeSeries is attached "
+            "to more than one config; telemetry recorders are per-run");
       }
     }
   }

@@ -32,6 +32,8 @@ void RunManifest::WriteJson(std::ostream& out) const {
   WriteStringMap(out, "knobs", knobs);
   out << ",\n";
   WriteStringMap(out, "outputs", outputs);
+  out << ",\n";
+  WriteStringMap(out, "digests", digests);
   out << "\n}\n";
 }
 

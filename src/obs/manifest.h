@@ -24,6 +24,10 @@ struct RunManifest {
   std::map<std::string, std::string> knobs;
   // Logical artifact name -> path as written, e.g. "events" -> "events.ndjson".
   std::map<std::string, std::string> outputs;
+  // Logical artifact name -> SHA-256 hex digest of the bytes written, so a
+  // stream found on disk can be checked for truncation or tampering before
+  // anyone joins or cross-checks it.
+  std::map<std::string, std::string> digests;
 
   void WriteJson(std::ostream& out) const;
   // Writes the manifest to `path`; returns false if the file cannot be opened.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <ostream>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -38,10 +39,33 @@ void WriteJsonNumber(std::ostream& out, double v) {
 
 }  // namespace
 
-// Buckets cover [2^-10, 2^53): bucket i holds values with upper bound
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty() || bounds_.size() > kNumBuckets - 1) {
+    throw std::invalid_argument(
+        "Histogram: custom layout needs 1.." + std::to_string(kNumBuckets - 1) +
+        " bucket bounds, got " + std::to_string(bounds_.size()));
+  }
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "Histogram: bucket bounds must be strictly ascending");
+    }
+  }
+}
+
+int Histogram::NumBuckets() const {
+  return bounds_.empty() ? kNumBuckets : static_cast<int>(bounds_.size()) + 1;
+}
+
+// Default layout covers [2^-10, 2^53): bucket i holds values with upper bound
 // 2^(i - 10). Values below 2^-10 land in bucket 0, values at or above the
-// last bound in bucket kNumBuckets - 1.
-int Histogram::BucketFor(double v) {
+// last bound in bucket kNumBuckets - 1. A custom layout buckets by
+// lower_bound over its ascending upper bounds, with one overflow bucket.
+int Histogram::BucketFor(double v) const {
+  if (!bounds_.empty()) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    return static_cast<int>(it - bounds_.begin());
+  }
   if (!(v > 0.0)) {
     return 0;
   }
@@ -50,7 +74,12 @@ int Histogram::BucketFor(double v) {
   return std::clamp(bucket, 0, kNumBuckets - 1);
 }
 
-double Histogram::BucketUpperBound(int bucket) {
+double Histogram::BucketUpperBound(int bucket) const {
+  if (!bounds_.empty()) {
+    return bucket < static_cast<int>(bounds_.size())
+               ? bounds_[static_cast<size_t>(bucket)]
+               : std::numeric_limits<double>::infinity();
+  }
   return std::ldexp(1.0, bucket - 10);
 }
 
@@ -81,18 +110,29 @@ double Histogram::Quantile(double q) const {
   if (n == 0) {
     return 0.0;
   }
-  q = std::clamp(q, 0.0, 1.0);
+  // Extremes are exact: the running min/max are the true order statistics,
+  // and interpolating inside the edge buckets would drift (e.g. with mixed
+  // signs the first bucket's nominal lower edge is 0, not the negative min).
+  if (q <= 0.0) {
+    return min();
+  }
+  if (q >= 1.0) {
+    return max();
+  }
   const double rank = q * static_cast<double>(n);
   double seen = 0.0;
-  for (int i = 0; i < kNumBuckets; ++i) {
+  const int num_buckets = NumBuckets();
+  for (int i = 0; i < num_buckets; ++i) {
     const auto in_bucket = static_cast<double>(
         buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed));
     if (in_bucket == 0.0) {
       continue;
     }
     if (seen + in_bucket >= rank) {
-      const double lower = i == 0 ? 0.0 : BucketUpperBound(i - 1);
-      const double upper = BucketUpperBound(i);
+      const double lower = i == 0 ? min() : BucketUpperBound(i - 1);
+      // The overflow bucket has no finite nominal bound; max() caps it (and
+      // every other bucket — observed extremes beat nominal edges).
+      const double upper = std::min(BucketUpperBound(i), max());
       const double fraction = (rank - seen) / in_bucket;
       const double estimate = lower + fraction * (upper - lower);
       return std::clamp(estimate, min(), max());
@@ -103,6 +143,12 @@ double Histogram::Quantile(double q) const {
 }
 
 void Histogram::MergeFrom(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument(
+        "Histogram::MergeFrom: mismatched bucket layouts (" +
+        std::to_string(NumBuckets()) + " vs " +
+        std::to_string(other.NumBuckets()) + " buckets)");
+  }
   const int64_t n = other.count();
   if (n == 0) {
     return;

@@ -23,6 +23,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace philly {
 
@@ -53,6 +54,13 @@ class Histogram {
  public:
   static constexpr int kNumBuckets = 64;
 
+  // Default layout: the fixed exponential base-2 buckets described above.
+  Histogram() = default;
+  // Custom layout: `bounds` are strictly ascending bucket upper bounds (at
+  // most kNumBuckets - 1 of them); values above the last bound land in a
+  // final overflow bucket. Throws std::invalid_argument on a bad layout.
+  explicit Histogram(std::vector<double> bounds);
+
   void Observe(double v);
 
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -60,15 +68,24 @@ class Histogram {
   double min() const;
   double max() const;
   double mean() const;
-  // Interpolated quantile estimate, q in [0, 1]. Returns 0 when empty.
+  // Interpolated quantile estimate. Returns 0 when empty; q <= 0 returns the
+  // observed min and q >= 1 the observed max.
   double Quantile(double q) const;
 
+  // Folds another histogram's samples into this one. Throws
+  // std::invalid_argument when the bucket layouts differ — adding counts
+  // bucket-by-bucket across layouts would silently corrupt both.
   void MergeFrom(const Histogram& other);
 
- private:
-  static int BucketFor(double v);
-  static double BucketUpperBound(int bucket);
+  // Empty for the default exponential layout.
+  const std::vector<double>& bucket_bounds() const { return bounds_; }
 
+ private:
+  int NumBuckets() const;
+  int BucketFor(double v) const;
+  double BucketUpperBound(int bucket) const;
+
+  std::vector<double> bounds_;  // empty = default exponential layout
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};

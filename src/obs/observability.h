@@ -12,6 +12,7 @@
 
 #include "src/obs/event_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace_profiler.h"
 
 namespace philly {
@@ -25,9 +26,13 @@ struct ObservabilityConfig {
   MetricsRegistry* metrics = nullptr;
   // Wall-clock phase slices; thread-safe, may be shared.
   TraceProfiler* profiler = nullptr;
+  // Per-minute cluster telemetry stream (one recorder per simulation; not
+  // shared across concurrent runs).
+  ClusterTimeSeries* timeseries = nullptr;
 
   bool enabled() const {
-    return event_log != nullptr || metrics != nullptr || profiler != nullptr;
+    return event_log != nullptr || metrics != nullptr || profiler != nullptr ||
+           timeseries != nullptr;
   }
 };
 

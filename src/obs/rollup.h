@@ -1,0 +1,132 @@
+// Rollups and integrity digests for the telemetry stream (timeseries.h).
+//
+// TelemetryDigest is the stream's self-check record: order-sensitive exact
+// aggregates over the sample lines (recomputable by any reader, in file
+// order, with bitwise-equal results) plus the Table 3 utilization aggregates
+// the writer derived from the native job records. `phillyctl analyze
+// --telemetry` recomputes both sides and exits non-zero on any mismatch —
+// the same reconstruct-and-cross-check discipline event_join.h applies to
+// the scheduler stream.
+//
+// TelemetryRollup downsamples a stream into fixed windows (default one hour)
+// for reporting, with Histogram-backed percentile digests; MergeFrom folds
+// per-shard rollups together after an ExperimentPool sweep and rejects
+// mismatched window sizes or histogram layouts loudly.
+
+#ifndef SRC_OBS_ROLLUP_H_
+#define SRC_OBS_ROLLUP_H_
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
+
+namespace philly {
+
+// Exact aggregates for cross-checking a telemetry stream. All sums are
+// accumulated in a fixed order (file order for samples, job order for the
+// utilization aggregates), so equal inputs give bitwise-equal digests.
+struct TelemetryDigest {
+  // Size classes for the utilization aggregates: the paper's representative
+  // job sizes (1, 4, 8, 16 GPUs) plus an all-jobs overall class.
+  static constexpr int kNumClasses = 5;
+  static constexpr int kOverallClass = 4;
+
+  // --- derived from the sample lines, in file order ---
+  int64_t samples = 0;
+  int64_t used_gpu_samples = 0;  // sum of used_gpus
+  int64_t queue_depth_max = 0;
+  double occupancy_sum = 0.0;
+  double util_expected_sum = 0.0;  // percent-valued samples
+  double util_observed_sum = 0.0;
+
+  // --- derived from the native job records (ComputeUtilDigest) ---
+  int64_t jobs = 0;
+  int64_t segments = 0;
+  std::array<double, kNumClasses> util_weight = {};        // sample weights
+  std::array<double, kNumClasses> util_weighted_sum = {};  // value * weight
+
+  bool operator==(const TelemetryDigest&) const = default;
+};
+
+// Exact-equality views for the two digest halves.
+bool SampleAggregatesEqual(const TelemetryDigest& a, const TelemetryDigest& b);
+bool JobAggregatesEqual(const TelemetryDigest& a, const TelemetryDigest& b);
+
+// Recomputes the sample-derived half from a stream, in file order.
+TelemetryDigest DigestOfSamples(const std::vector<TelemetrySample>& samples);
+
+// Digest NDJSON line ({"digest":1,...}); appended after the sample lines.
+std::string ToNdjsonLine(const TelemetryDigest& digest);
+bool IsTelemetryDigestLine(std::string_view line);
+bool TelemetryDigestFromNdjsonLine(std::string_view line, TelemetryDigest* digest,
+                                   std::string* error);
+
+// One downsampling window of a rollup.
+struct TelemetryWindow {
+  SimTime start = 0;
+  int64_t samples = 0;
+  double occupancy_sum = 0.0;
+  double occupancy_min = std::numeric_limits<double>::infinity();
+  double occupancy_max = -std::numeric_limits<double>::infinity();
+  double util_expected_sum = 0.0;
+  double util_observed_sum = 0.0;
+  int64_t used_gpu_samples = 0;
+  int64_t queued_max = 0;
+  int64_t running_max = 0;
+
+  double MeanOccupancy() const {
+    return samples == 0 ? 0.0 : occupancy_sum / static_cast<double>(samples);
+  }
+  double MeanUtilExpected() const {
+    return samples == 0 ? 0.0 : util_expected_sum / static_cast<double>(samples);
+  }
+  double MeanUtilObserved() const {
+    return samples == 0 ? 0.0 : util_observed_sum / static_cast<double>(samples);
+  }
+};
+
+class TelemetryRollup {
+ public:
+  explicit TelemetryRollup(SimDuration window = Hours(1));
+
+  SimDuration window() const { return window_; }
+
+  void Add(const TelemetrySample& sample);
+  void AddAll(const std::vector<TelemetrySample>& samples);
+
+  // Windows keyed (and iterated) by start time.
+  const std::map<SimTime, TelemetryWindow>& windows() const { return windows_; }
+
+  // Whole-stream percentile digests (custom decile bucket layouts).
+  const Histogram& occupancy_pct() const { return occupancy_pct_; }
+  const Histogram& util_observed_pct() const { return util_observed_pct_; }
+  const Histogram& queue_depth() const { return queue_depth_; }
+
+  // Folds another rollup's windows and digests into this one. Throws
+  // std::invalid_argument on a window-size mismatch (and the histograms
+  // reject layout mismatches themselves).
+  void MergeFrom(const TelemetryRollup& other);
+
+  // Stable JSON snapshot: window table plus histogram percentiles.
+  void WriteJson(std::ostream& out) const;
+
+ private:
+  SimDuration window_;
+  std::map<SimTime, TelemetryWindow> windows_;
+  Histogram occupancy_pct_;
+  Histogram util_observed_pct_;
+  Histogram queue_depth_;
+};
+
+}  // namespace philly
+
+#endif  // SRC_OBS_ROLLUP_H_

@@ -1,0 +1,150 @@
+// Per-minute cluster telemetry stream — the Ganglia analogue of the paper's
+// three-way log join (§2.4). The EventLog captures scheduler decisions and
+// the trace writer the per-job framework logs; the ClusterTimeSeries adds the
+// third source: cluster state sampled on a fixed wall-clock cadence,
+// independent of when scheduler events happen to fire.
+//
+// Samples are taken from a Simulator time-advance hook, so recording is
+// passive: it never schedules events, and the sampled state at minute m is
+// the piecewise-constant pre-event state (an event AT m has not yet run).
+// One ClusterTimeSeries belongs to exactly one simulation run (not
+// thread-safe, like EventLog); serialization is NDJSON with fixed key order
+// and shortest-round-trip doubles, so streams are byte-identical across
+// PHILLY_BENCH_THREADS.
+//
+// Per-server GPU utilization is joined in with the same AR(1) jitter model
+// GangliaSampler applies in analysis: one observed-utilization step per
+// running job per sampled minute, seeded per (run seed, job, attempt), so
+// the stream's observed utilization is deterministic and cross-checkable
+// against AnalyzeUtilization's digest (see rollup.h).
+
+#ifndef SRC_OBS_TIMESERIES_H_
+#define SRC_OBS_TIMESERIES_H_
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/sim_time.h"
+#include "src/telemetry/sampler.h"
+
+namespace philly {
+
+// One telemetry scan line. Scalars with default values are omitted from the
+// NDJSON encoding (event_log style); array fields are always present.
+struct TelemetrySample {
+  SimTime time = 0;  // sample timestamp, aligned to the sampling grid
+
+  // Cluster occupancy.
+  int used_gpus = 0;
+  int free_gpus = 0;
+  double occupancy = 0.0;  // used / (used + free), 0 when the cluster is empty
+  int running_jobs = 0;
+  int queued_jobs = 0;
+
+  // Fragmentation / placement-index view.
+  int busy_servers = 0;
+  int empty_servers = 0;
+  int racks_with_empty = 0;
+  int offline_servers = 0;
+  std::vector<int> rack_free_gpus;  // index = rack id
+
+  // Per-VC scheduler state (index = VC id).
+  std::vector<int> vc_queued;
+  std::vector<int> vc_running;
+  std::vector<int> vc_used_gpus;
+
+  // Busy servers bucketed by mean observed GPU utilization decile
+  // (0-10%, ..., 90-100%); Fig 8-style fleet utilization shape. Fixed-size
+  // so a sample costs one fewer heap allocation per simulated minute.
+  std::array<int, 10> util_deciles = {};
+
+  // Cumulative scheduler/fault counters as of this sample (monotone).
+  int64_t locality_relaxations = 0;
+  int64_t backoffs = 0;
+  int64_t preemptions = 0;
+  int64_t migrations = 0;
+  int64_t fault_kills = 0;
+  double lost_gpu_seconds = 0.0;
+
+  // Busy-GPU-weighted utilization, percent.
+  double util_expected_pct = 0.0;  // from the loss-curve expectation
+  double util_observed_pct = 0.0;  // with the Ganglia AR(1) jitter join
+};
+
+std::string ToNdjsonLine(const TelemetrySample& s);
+bool TelemetrySampleFromNdjsonLine(std::string_view line, TelemetrySample* sample,
+                                   std::string* error);
+
+struct TelemetryDigest;  // rollup.h
+
+// Deterministic per-minute recorder. The owning ClusterSimulation drives it:
+// BeginRun once, then AppendSample at every grid time crossed by the clock,
+// filling the returned sample in place; ObserveUtilPct advances the per-job
+// AR(1) jitter stream (exactly once per running job per sampled minute).
+class ClusterTimeSeries {
+ public:
+  explicit ClusterTimeSeries(SimDuration period = Minutes(1),
+                             SamplerConfig sampler = {});
+
+  SimDuration period() const { return period_; }
+
+  // Pre-sizes the sample buffer (cheap enabled-path, like EventLog::Reserve).
+  void Reserve(size_t samples);
+  // Drops all samples and jitter state so the recorder can be reused.
+  void Clear();
+
+  // Starts a run: resets per-run state and seeds the utilization join.
+  void BeginRun(uint64_t seed);
+
+  // Next unsampled grid time (first grid point strictly after the last
+  // sample; the grid starts at time 0, which is never sampled — it is the
+  // run's epoch, before any arrival).
+  SimTime NextSampleTime() const;
+
+  // Appends a sample at grid time `t` (must equal NextSampleTime()) and
+  // returns it for the caller to fill.
+  TelemetrySample& AppendSample(SimTime t);
+
+  // Advances the AR(1) jitter stream for `job` and returns the observed
+  // utilization in percent for `expected_util` (a fraction). Streams are
+  // (re)seeded per (run seed, job, attempt).
+  double ObserveUtilPct(JobId job, int attempt, double expected_util);
+
+  const std::vector<TelemetrySample>& samples() const { return samples_; }
+
+  // NDJSON: one sample per line, fixed key order; when `digest` is non-null a
+  // final digest line is appended for self-integrity checks.
+  void WriteNdjson(std::ostream& out, const TelemetryDigest* digest = nullptr) const;
+
+  // Reads a stream written by WriteNdjson. Stops at the first malformed line
+  // ("line N: ..." in *error). A trailing digest line, when present, is
+  // decoded into *digest (found_digest reports whether one was seen).
+  static std::vector<TelemetrySample> ReadNdjson(std::istream& in,
+                                                 TelemetryDigest* digest,
+                                                 bool* found_digest,
+                                                 std::string* error);
+
+ private:
+  struct UtilStream {
+    int attempt = -1;
+    uint64_t seed = 0;
+    int64_t next_index = 0;  // next HashedNormal index to consume
+    double x = 0.0;          // current AR(1) deviation
+  };
+
+  SimDuration period_;
+  SamplerConfig sampler_;
+  uint64_t run_seed_ = 0;
+  int64_t last_index_ = 0;  // grid index of the last appended sample
+  std::vector<TelemetrySample> samples_;
+  std::vector<UtilStream> util_streams_;  // indexed by JobId (dense ids)
+};
+
+}  // namespace philly
+
+#endif  // SRC_OBS_TIMESERIES_H_

@@ -150,6 +150,11 @@ struct SimulationResult {
   int64_t out_of_order_benign = 0;
   int64_t preemptions = 0;
   int64_t migrations = 0;
+  // Waiting jobs whose locality constraint was relaxed a level, and
+  // scheduling passes that ended in a backoff with jobs still waiting
+  // (telemetry counters; also emitted as locality_relax/backoff events).
+  int64_t locality_relaxations = 0;
+  int64_t sched_backoffs = 0;
   // Checkpoint-suspensions performed by priority-preemptive baselines
   // (Optimus/Tiresias); progress is preserved, unlike fair-share preemption.
   int64_t priority_preemptions = 0;

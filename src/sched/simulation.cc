@@ -165,7 +165,22 @@ SimulationResult ClusterSimulation::Run() {
       }
     }
   }
+  if (ClusterTimeSeries* ts = config_.obs.timeseries; ts != nullptr) {
+    ts->BeginRun(config_.seed);
+    ts->Reserve(static_cast<size_t>(last_arrival_time_ / ts->period()) + 64);
+    telemetry_srv_util_.assign(static_cast<size_t>(cluster_.NumServers()), 0.0);
+    telemetry_srv_gpus_.assign(static_cast<size_t>(cluster_.NumServers()), 0);
+    telemetry_touched_.reserve(static_cast<size_t>(cluster_.NumServers()));
+    // Sampling rides the clock-advance hook: it adds zero simulator events,
+    // so enabling the sink cannot perturb the run (each sample sees the
+    // piecewise-constant pre-event state of its minute).
+    sim_.SetTimeAdvanceObserver([this](SimTime target) { TelemetryAdvance(target); });
+  }
   sim_.Run();
+  if (config_.obs.timeseries != nullptr) {
+    TelemetryAdvance(sim_.Now());  // flush grid points up to the final event
+    sim_.SetTimeAdvanceObserver(nullptr);
+  }
 
   result_.sim_events_processed = static_cast<int64_t>(sim_.ProcessedCount());
   if (MetricsRegistry* metrics = config_.obs.metrics; metrics != nullptr) {
@@ -405,6 +420,7 @@ void ClusterSimulation::SchedulingPass() {
       const int level = RelaxLevelFor(job);
       if (level > job.relax_emitted) {
         job.relax_emitted = level;
+        ++result_.locality_relaxations;
         if (SchedEvent* e = EmitEvent(SchedEventKind::kLocalityRelax, &job);
             e != nullptr) {
           e->relax_level = level;
@@ -459,6 +475,7 @@ void ClusterSimulation::SchedulingPass() {
     }
   }
   if (any_waiting) {
+    ++result_.sched_backoffs;
     if (SchedEvent* e = EmitEvent(SchedEventKind::kBackoff, nullptr); e != nullptr) {
       e->delay = config_.scheduler.sched_backoff;
     }
@@ -640,6 +657,7 @@ void ClusterSimulation::StartAttempt(JobState& job, const Placement& placement) 
   (void)ok;
   job.phase = Phase::kRunning;
   job.attempt_start = now;
+  TelemetryTrackStart(job);
 
   // Decide what this attempt is.
   SimDuration duration = 0;
@@ -755,6 +773,125 @@ void ClusterSimulation::RefreshCotenantSegments(const Placement& placement,
   }
 }
 
+void ClusterSimulation::TelemetryTrackStart(const JobState& job) {
+  if (config_.obs.timeseries == nullptr) {
+    return;
+  }
+  const std::pair<JobId, size_t> entry{
+      job.spec.id, static_cast<size_t>(&job - jobs_.data())};
+  const auto it = std::lower_bound(telemetry_running_.begin(),
+                                   telemetry_running_.end(), entry);
+  telemetry_running_.insert(it, entry);
+}
+
+void ClusterSimulation::TelemetryTrackStop(const JobState& job) {
+  if (config_.obs.timeseries == nullptr) {
+    return;
+  }
+  const auto it = std::lower_bound(
+      telemetry_running_.begin(), telemetry_running_.end(), job.spec.id,
+      [](const auto& entry, JobId id) { return entry.first < id; });
+  assert(it != telemetry_running_.end() && it->first == job.spec.id);
+  telemetry_running_.erase(it);
+}
+
+void ClusterSimulation::TelemetryAdvance(SimTime target) {
+  ClusterTimeSeries* ts = config_.obs.timeseries;
+  if (ts == nullptr) {
+    return;
+  }
+  while (ts->NextSampleTime() <= target) {
+    FillTelemetrySample(ts->AppendSample(ts->NextSampleTime()));
+  }
+}
+
+void ClusterSimulation::FillTelemetrySample(TelemetrySample& s) {
+  ClusterTimeSeries* ts = config_.obs.timeseries;
+
+  // Cluster occupancy and fragmentation, straight off the placement index.
+  s.used_gpus = cluster_.NumUsedGpus();
+  s.free_gpus = cluster_.NumFreeGpus();
+  s.occupancy = cluster_.Occupancy();
+  s.racks_with_empty = cluster_.RacksWithEmptyServers();
+  s.offline_servers = cluster_.NumOfflineServers();
+  s.rack_free_gpus.reserve(static_cast<size_t>(cluster_.NumRacks()));
+  for (RackId r = 0; r < cluster_.NumRacks(); ++r) {
+    s.rack_free_gpus.push_back(cluster_.RackFreeGpus(r));
+  }
+
+  // Per-VC scheduler state.
+  s.vc_queued.reserve(vcs_.size());
+  s.vc_running.reserve(vcs_.size());
+  s.vc_used_gpus.reserve(vcs_.size());
+  for (const VcState& vc : vcs_) {
+    s.vc_queued.push_back(static_cast<int>(vc.queue.size()));
+    s.vc_running.push_back(0);  // filled from the running set below
+    s.vc_used_gpus.push_back(vc.used_gpus);
+    s.queued_jobs += static_cast<int>(vc.queue.size());
+  }
+
+  // Utilization join: one AR(1) step per running job per sampled minute,
+  // iterated in job-id order so the stream is deterministic. Each job's
+  // observed utilization is scattered onto its placement's servers through
+  // the per-server scratch, so the whole sample costs O(running jobs + busy
+  // servers) rather than a full-cluster scan (prerun attempts hold pool
+  // slots, not cluster GPUs, so the running set covers every allocation).
+  double exp_weighted = 0.0;
+  double obs_weighted = 0.0;
+  int64_t weight = 0;
+  for (const auto& [id, index] : telemetry_running_) {
+    const JobState& job = jobs_[index];
+    const double obs_pct = ts->ObserveUtilPct(
+        id, job.record.attempts.back().index, job.segment_util);
+    const int gpus = job.spec.num_gpus;
+    exp_weighted += job.segment_util * 100.0 * gpus;
+    obs_weighted += obs_pct * gpus;
+    weight += gpus;
+    ++s.vc_running[static_cast<size_t>(job.spec.vc)];
+    for (const auto& shard : job.record.attempts.back().placement.shards) {
+      const auto sv = static_cast<size_t>(shard.server);
+      if (telemetry_srv_gpus_[sv] == 0) {
+        telemetry_touched_.push_back(shard.server);
+      }
+      telemetry_srv_util_[sv] += obs_pct * shard.gpus;
+      telemetry_srv_gpus_[sv] += shard.gpus;
+    }
+  }
+  s.running_jobs = static_cast<int>(telemetry_running_.size());
+  if (weight > 0) {
+    s.util_expected_pct = exp_weighted / static_cast<double>(weight);
+    s.util_observed_pct = obs_weighted / static_cast<double>(weight);
+  }
+
+  // Per-server observed utilization, bucketed by decile over busy servers;
+  // empty = neither busy nor offline, computed without the full server scan.
+  int busy_offline = 0;
+  for (const ServerId server : telemetry_touched_) {
+    const auto sv = static_cast<size_t>(server);
+    const double mean_pct =
+        telemetry_srv_util_[sv] / static_cast<double>(telemetry_srv_gpus_[sv]);
+    const int decile = std::clamp(static_cast<int>(mean_pct / 10.0), 0, 9);
+    ++s.util_deciles[static_cast<size_t>(decile)];
+    if (cluster_.ServerOffline(server)) {
+      ++busy_offline;
+    }
+    telemetry_srv_util_[sv] = 0.0;
+    telemetry_srv_gpus_[sv] = 0;
+  }
+  s.busy_servers = static_cast<int>(telemetry_touched_.size());
+  s.empty_servers = cluster_.NumServers() - s.busy_servers -
+                    (s.offline_servers - busy_offline);
+  telemetry_touched_.clear();
+
+  // Cumulative scheduler/fault counters.
+  s.locality_relaxations = result_.locality_relaxations;
+  s.backoffs = result_.sched_backoffs;
+  s.preemptions = result_.preemptions;
+  s.migrations = result_.migrations;
+  s.fault_kills = result_.machine_fault_kills;
+  s.lost_gpu_seconds = result_.machine_fault_lost_gpu_seconds;
+}
+
 void ClusterSimulation::OnAttemptEnd(JobId id) {
   JobState& job = StateOf(id);
   assert(job.phase == Phase::kRunning);
@@ -770,6 +907,7 @@ void ClusterSimulation::OnAttemptEnd(JobId id) {
   job.record.gpu_seconds += attempt.GpuTime();
 
   cluster_.Release(id);
+  TelemetryTrackStop(job);
   VcOf(job).used_gpus -= job.spec.num_gpus;
   RefreshCotenantSegments(attempt.placement, id);
 
@@ -882,6 +1020,7 @@ void ClusterSimulation::SuspendAttempt(JobState& job) {
   job.record.executed_epochs = static_cast<int>(
       std::min<int64_t>(job.spec.planned_epochs, job.clean_executed / epoch));
   cluster_.Release(job.spec.id);
+  TelemetryTrackStop(job);
   VcOf(job).used_gpus -= job.spec.num_gpus;
   RefreshCotenantSegments(attempt.placement, job.spec.id);
 }
@@ -1016,6 +1155,7 @@ void ClusterSimulation::PreemptJob(JobState& victim) {
   // A preempted failing attempt is restarted later: the trial is not consumed.
 
   cluster_.Release(victim.spec.id);
+  TelemetryTrackStop(victim);
   VcOf(victim).used_gpus -= victim.spec.num_gpus;
   RefreshCotenantSegments(attempt.placement, victim.spec.id);
   ++result_.preemptions;
@@ -1251,6 +1391,7 @@ void ClusterSimulation::KillAttemptForFault(JobState& job, FailureReason reason,
   }
 
   cluster_.Release(job.spec.id);
+  TelemetryTrackStop(job);
   VcOf(job).used_gpus -= job.spec.num_gpus;
   RefreshCotenantSegments(attempt.placement, job.spec.id);
   // Machine faults are the cluster's fault, not the job's: no retry-policy

@@ -159,6 +159,14 @@ class ClusterSimulation {
   void CloseSegment(JobState& job);
   void RefreshCotenantSegments(const Placement& placement, JobId except);
 
+  // --- per-minute telemetry stream (all no-ops when the sink is null) ---
+  // Emits every unsampled grid point <= target; wired to the simulator's
+  // time-advance hook so sampling adds zero simulator events.
+  void TelemetryAdvance(SimTime target);
+  void FillTelemetrySample(TelemetrySample& sample);
+  void TelemetryTrackStart(const JobState& job);
+  void TelemetryTrackStop(const JobState& job);
+
   JobState& StateOf(JobId id);
   VcState& VcOf(const JobState& job) { return vcs_[static_cast<size_t>(job.spec.vc)]; }
 
@@ -195,6 +203,17 @@ class ClusterSimulation {
   SimTime last_preemption_time_ = -(1 << 30);
   int prerun_in_use_ = 0;
   int jobs_done_ = 0;
+  // Jobs holding cluster GPUs right now, sorted by id, paired with their
+  // jobs_ index so the per-minute sampler skips the id hash lookup.
+  // Maintained only when the timeseries sink is attached (prerun attempts
+  // hold no cluster GPUs and are excluded).
+  std::vector<std::pair<JobId, size_t>> telemetry_running_;
+  // Per-server scratch for the sampler's utilization join, sized NumServers
+  // and zeroed between samples via telemetry_touched_ (so a sample costs
+  // O(running jobs + busy servers), not O(cluster servers)).
+  std::vector<double> telemetry_srv_util_;
+  std::vector<int> telemetry_srv_gpus_;
+  std::vector<ServerId> telemetry_touched_;
 
   // Metric handles resolved once at construction (null when metrics are off).
   Histogram* queue_delay_hist_ = nullptr;

@@ -48,6 +48,9 @@ bool Simulator::Step() {
   heap_.pop();
   pending_ids_.erase(top.seq);
   assert(top.time >= now_);
+  if (top.time > now_ && time_advance_observer_) {
+    time_advance_observer_(top.time);
+  }
   now_ = top.time;
   ++processed_;
   top.callback();
@@ -64,6 +67,9 @@ void Simulator::RunUntil(SimTime deadline) {
     Step();
   }
   if (now_ < deadline) {
+    if (time_advance_observer_) {
+      time_advance_observer_(deadline);
+    }
     now_ = deadline;
   }
 }

@@ -55,6 +55,16 @@ class Simulator {
   // Processes exactly one event if any is pending; returns false otherwise.
   bool Step();
 
+  // Observer fired whenever the clock is about to advance past Now(), with
+  // the target time, BEFORE the event at that time runs (and before the final
+  // advance of RunUntil). The simulation state visible to the observer is the
+  // pre-event state, so samplers see piecewise-constant values between
+  // events. The observer must not schedule or cancel events. Pass an empty
+  // function to detach.
+  void SetTimeAdvanceObserver(std::function<void(SimTime)> observer) {
+    time_advance_observer_ = std::move(observer);
+  }
+
   size_t PendingCount() const { return pending_ids_.size(); }
   uint64_t ProcessedCount() const { return processed_; }
 
@@ -77,6 +87,7 @@ class Simulator {
   bool SkipCancelled();
 
   SimTime now_ = 0;
+  std::function<void(SimTime)> time_advance_observer_;
   uint64_t next_seq_ = 1;
   uint64_t processed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;

@@ -23,6 +23,8 @@
 #include "src/core/experiment.h"
 #include "src/common/table.h"
 #include "src/obs/event_log.h"
+#include "src/obs/rollup.h"
+#include "src/obs/timeseries.h"
 
 namespace philly {
 namespace {
@@ -145,6 +147,29 @@ TEST(GoldenDeterminismTest, EventStreamAndTable2MatchCommittedGolden) {
 
   const DelayCauseResult causes = AnalyzeDelayCauses(run.result.jobs, &run.result);
   CompareOrUpdate("table2.txt", RenderTable2(causes));
+}
+
+// Same discipline for the telemetry stream: a fixed config must reproduce the
+// committed NDJSON — samples, AR(1) utilization join, and digest line — byte
+// for byte. A coarse six-hour cadence keeps the fixture around a hundred
+// lines (the run drains for weeks after the one-day arrival window) while
+// still covering the whole codec and both digest halves.
+TEST(GoldenDeterminismTest, TelemetryStreamMatchesCommittedGolden) {
+  ClusterTimeSeries timeseries(Hours(6));
+  ExperimentConfig config = GoldenConfig();
+  config.simulation.obs.timeseries = &timeseries;
+  const ExperimentRun run = RunExperiment(config);
+
+  TelemetryDigest digest = DigestOfSamples(timeseries.samples());
+  const TelemetryDigest jobs_half = ComputeUtilDigest(run.result.jobs);
+  digest.jobs = jobs_half.jobs;
+  digest.segments = jobs_half.segments;
+  digest.util_weight = jobs_half.util_weight;
+  digest.util_weighted_sum = jobs_half.util_weighted_sum;
+
+  std::ostringstream stream;
+  timeseries.WriteNdjson(stream, &digest);
+  CompareOrUpdate("telemetry.ndjson", stream.str());
 }
 
 // The golden stream must also be independent of observability: re-running the

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/sha256.h"
 #include "src/core/event_join.h"
 #include "src/core/experiment.h"
 #include "src/core/runner.h"
@@ -355,6 +356,63 @@ TEST(MetricsTest, HistogramQuantilesAreOrderedAndClamped) {
   EXPECT_NEAR(p50, 500.0, 300.0);
 }
 
+// Regression tests for the Quantile edge cases: an empty histogram used to
+// interpolate against uninitialized min/max, a single hot bucket could return
+// values outside [min, max], and q at the boundaries ignored the observed
+// extremes.
+TEST(MetricsTest, QuantileEdgeCases) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Quantile(1.0), 0.0);
+
+  // All mass in one bucket: every quantile stays within the observed range.
+  Histogram one_bucket;
+  for (int i = 0; i < 1000; ++i) {
+    one_bucket.Observe(5.0);
+  }
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_GE(one_bucket.Quantile(q), 5.0) << "q=" << q;
+    EXPECT_LE(one_bucket.Quantile(q), one_bucket.max()) << "q=" << q;
+  }
+
+  // q <= 0 is the observed min and q >= 1 the observed max, even when the
+  // min is negative (below every bucket bound).
+  Histogram mixed;
+  mixed.Observe(-5.0);
+  mixed.Observe(100.0);
+  EXPECT_DOUBLE_EQ(mixed.Quantile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(mixed.Quantile(-0.5), -5.0);
+  EXPECT_DOUBLE_EQ(mixed.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(mixed.Quantile(1.5), 100.0);
+}
+
+TEST(MetricsTest, CustomBucketLayoutValidation) {
+  const Histogram deciles({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  EXPECT_EQ(deciles.bucket_bounds().size(), 10u);
+  EXPECT_THROW(Histogram(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>(Histogram::kNumBuckets, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(MetricsTest, MergeFromRejectsMismatchedBucketBounds) {
+  Histogram default_layout;
+  default_layout.Observe(1.0);
+  Histogram custom({10, 20, 30});
+  custom.Observe(15.0);
+  EXPECT_THROW(default_layout.MergeFrom(custom), std::invalid_argument);
+  EXPECT_THROW(custom.MergeFrom(default_layout), std::invalid_argument);
+  Histogram other_custom({10, 20, 40});
+  EXPECT_THROW(custom.MergeFrom(other_custom), std::invalid_argument);
+  // Matching layouts still merge.
+  Histogram same({10, 20, 30});
+  same.Observe(25.0);
+  custom.MergeFrom(same);
+  EXPECT_EQ(custom.count(), 2);
+}
+
 TEST(MetricsTest, MergeFromFoldsRegistries) {
   MetricsRegistry a;
   MetricsRegistry b;
@@ -418,6 +476,36 @@ TEST(ManifestTest, WriteJsonContainsKnobsAndOutputs) {
   EXPECT_NE(json.find("\"seed\": 42"), std::string::npos) << json;
   EXPECT_NE(json.find("\"scheduler\": \"philly\""), std::string::npos);
   EXPECT_NE(json.find("events.ndjson"), std::string::npos);
+}
+
+TEST(ManifestTest, RecordsSinkDigests) {
+  RunManifest manifest;
+  manifest.outputs["telemetry"] = "telemetry.ndjson";
+  manifest.digests["telemetry"] = Sha256Hex("{\"t\":60}\n");
+  std::ostringstream out;
+  manifest.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"digests\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"telemetry\": \"" + Sha256Hex("{\"t\":60}\n") + "\""),
+            std::string::npos)
+      << json;
+}
+
+// ------------------------------------------------------------ sha256
+
+TEST(Sha256Test, MatchesKnownVectors) {
+  // FIPS 180-2 test vectors.
+  EXPECT_EQ(Sha256Hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256Hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+  // Block-boundary lengths (55/56/64 bytes) exercise the padding paths.
+  EXPECT_EQ(Sha256Hex(std::string(55, 'a')),
+            Sha256Hex(std::string(55, 'a')));
+  EXPECT_EQ(Sha256Hex(std::string(1000000, 'a')),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
 }
 
 }  // namespace

@@ -10,6 +10,11 @@
 //       Table 2) from an NDJSON event log alone. With --trace, cross-check
 //       the rebuilt per-job records against the native trace and fail on
 //       any divergence.
+//   phillyctl analyze --telemetry FILE [--trace DIR]
+//       Rebuild the Table 3 utilization aggregates from a telemetry stream
+//       alone and verify them against the digest the writer embedded (exact,
+//       bitwise). With --trace, also recompute the job-derived half from the
+//       native trace and fail on any divergence.
 //   phillyctl report [--days N] [--seed S] [options]
 //       Run a simulation and print the full analysis without writing files.
 //   phillyctl sweep [--days N] [--seeds S1,S2,...] [--schedulers a,b,...]
@@ -34,14 +39,19 @@
 //   Output options (simulate):
 //     --format native|philly-traces|both                 (default native)
 //   Observability options (simulate/report):
-//     --events-out FILE   write the scheduler event stream as NDJSON
-//     --metrics-out FILE  write aggregated run metrics as JSON
-//     --trace-out FILE    write wall-clock phase slices as Chrome trace-event
-//                         JSON (load in ui.perfetto.dev or chrome://tracing)
+//     --events-out FILE    write the scheduler event stream as NDJSON
+//     --metrics-out FILE   write aggregated run metrics as JSON
+//     --trace-out FILE     write wall-clock phase slices as Chrome trace-event
+//                          JSON (load in ui.perfetto.dev or chrome://tracing)
+//     --telemetry-out FILE write the per-minute cluster telemetry stream as
+//                          NDJSON with a trailing integrity digest line
+//     --html FILE          render a self-contained HTML dashboard (inline SVG,
+//                          no external assets) from the run's log streams
 //   Input options (analyze):
 //     --philly-traces     treat --trace as the public-release layout and
 //                         parse cluster_job_log (telemetry analyses skipped)
 //     --from-events FILE  analyze an NDJSON scheduler event log
+//     --telemetry FILE    verify and summarize an NDJSON telemetry stream
 
 #include <cerrno>
 #include <cstdio>
@@ -54,11 +64,13 @@
 #include <string>
 #include <vector>
 
+#include "src/common/sha256.h"
 #include "src/common/strings.h"
 #include "src/common/table.h"
 #include "src/core/analysis.h"
 #include "src/core/event_join.h"
 #include "src/core/experiment.h"
+#include "src/core/html_report.h"
 #include "src/core/runner.h"
 #include "src/core/report.h"
 #include "src/core/validate.h"
@@ -67,6 +79,8 @@
 #include "src/obs/manifest.h"
 #include "src/obs/metrics.h"
 #include "src/obs/observability.h"
+#include "src/obs/rollup.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace_profiler.h"
 #include "src/trace/philly_format.h"
 #include "src/trace/trace_io.h"
@@ -101,7 +115,8 @@ Args Parse(int argc, char** argv) {
                                      "--schedulers", "--threads", "--retries",
                                      "--checkpoint-mins", "--events-out",
                                      "--metrics-out", "--trace-out",
-                                     "--from-events"};
+                                     "--from-events", "--telemetry-out",
+                                     "--telemetry", "--html"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     bool takes_value = false;
@@ -343,19 +358,28 @@ void ExportFigures(const std::vector<JobRecord>& jobs, const std::string& dir) {
   std::printf("figure series written to %s/\n", dir.c_str());
 }
 
-// Writes `write(out)` to `path`, reporting failures with `what`.
+// Serializes `write(out)` into memory, writes the bytes to `path`, and on
+// success records the sink in the manifest: output path plus the SHA-256 of
+// exactly the bytes written, so a later reader can prove the file on disk is
+// the one this run produced.
 template <typename WriteFn>
-bool WriteObsFile(const std::string& path, const char* what, WriteFn write) {
-  std::ofstream out(path);
+bool WriteObsFile(const std::string& path, const char* what, const char* sink,
+                  RunManifest* manifest, WriteFn write) {
+  std::ostringstream buffer;
+  write(buffer);
+  const std::string bytes = buffer.str();
+  std::ofstream out(path, std::ios::binary);
   if (!out) {
     std::fprintf(stderr, "cannot write %s to %s\n", what, path.c_str());
     return false;
   }
-  write(out);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   if (!out.good()) {
     std::fprintf(stderr, "error while writing %s to %s\n", what, path.c_str());
     return false;
   }
+  manifest->outputs[sink] = path;
+  manifest->digests[sink] = Sha256Hex(bytes);
   return true;
 }
 
@@ -403,10 +427,15 @@ int RunSimulateOrReport(const Args& args, bool write_output) {
   EventLog event_log;
   MetricsRegistry metrics;
   TraceProfiler profiler;
+  ClusterTimeSeries timeseries;
   const std::string events_out = args.Get("--events-out", "");
   const std::string metrics_out = args.Get("--metrics-out", "");
   const std::string trace_out = args.Get("--trace-out", "");
-  if (!events_out.empty()) {
+  const std::string telemetry_out = args.Get("--telemetry-out", "");
+  const std::string html_out = args.Get("--html", "");
+  // The dashboard joins the telemetry and scheduler streams, so --html
+  // implies both recorders even when their files were not asked for.
+  if (!events_out.empty() || !html_out.empty()) {
     config.simulation.obs.event_log = &event_log;
   }
   if (!metrics_out.empty()) {
@@ -414,6 +443,9 @@ int RunSimulateOrReport(const Args& args, bool write_output) {
   }
   if (!trace_out.empty()) {
     config.simulation.obs.profiler = &profiler;
+  }
+  if (!telemetry_out.empty() || !html_out.empty()) {
+    config.simulation.obs.timeseries = &timeseries;
   }
 
   std::printf("simulating %d days (seed %d, scheduler %s)...\n",
@@ -456,31 +488,62 @@ int RunSimulateOrReport(const Args& args, bool write_output) {
   }
 
   if (!events_out.empty()) {
-    if (!WriteObsFile(events_out, "event log",
+    if (!WriteObsFile(events_out, "event log", "events", &manifest,
                       [&](std::ostream& out) { event_log.WriteNdjson(out); })) {
       return 1;
     }
-    manifest.outputs["events"] = events_out;
     std::printf("%zu scheduler events written to %s\n", event_log.size(),
                 events_out.c_str());
   }
   if (!metrics_out.empty()) {
-    if (!WriteObsFile(metrics_out, "metrics",
+    if (!WriteObsFile(metrics_out, "metrics", "metrics", &manifest,
                       [&](std::ostream& out) { metrics.WriteJson(out); })) {
       return 1;
     }
-    manifest.outputs["metrics"] = metrics_out;
     std::printf("metrics written to %s\n", metrics_out.c_str());
   }
   if (!trace_out.empty()) {
-    if (!WriteObsFile(trace_out, "phase trace", [&](std::ostream& out) {
-          profiler.WriteChromeTrace(out);
-        })) {
+    if (!WriteObsFile(trace_out, "phase trace", "phase-trace", &manifest,
+                      [&](std::ostream& out) { profiler.WriteChromeTrace(out); })) {
       return 1;
     }
-    manifest.outputs["phase-trace"] = trace_out;
     std::printf("%zu phase slices written to %s (open in ui.perfetto.dev)\n",
                 profiler.size(), trace_out.c_str());
+  }
+  if (!telemetry_out.empty()) {
+    // The embedded digest carries both halves of the cross-check: exact
+    // aggregates over the sample lines, and the Table 3 utilization
+    // aggregates derived from the native job records.
+    TelemetryDigest digest = DigestOfSamples(timeseries.samples());
+    const TelemetryDigest jobs_half = ComputeUtilDigest(run.result.jobs);
+    digest.jobs = jobs_half.jobs;
+    digest.segments = jobs_half.segments;
+    digest.util_weight = jobs_half.util_weight;
+    digest.util_weighted_sum = jobs_half.util_weighted_sum;
+    if (!WriteObsFile(telemetry_out, "telemetry", "telemetry", &manifest,
+                      [&](std::ostream& out) {
+                        timeseries.WriteNdjson(out, &digest);
+                      })) {
+      return 1;
+    }
+    std::printf("%zu telemetry samples written to %s\n",
+                timeseries.samples().size(), telemetry_out.c_str());
+  }
+  if (!html_out.empty()) {
+    HtmlDashboardInput dashboard;
+    dashboard.title = "philly " + config.simulation.scheduler.name + " seed " +
+                      std::to_string(config.simulation.seed) + ", " +
+                      std::to_string(args.GetInt("--days", 10)) + " days";
+    dashboard.samples = &timeseries.samples();
+    dashboard.events = &event_log.events();
+    dashboard.jobs = &run.result.jobs;
+    if (!WriteObsFile(html_out, "dashboard", "dashboard", &manifest,
+                      [&](std::ostream& out) {
+                        out << RenderHtmlDashboard(dashboard);
+                      })) {
+      return 1;
+    }
+    std::printf("dashboard written to %s\n", html_out.c_str());
   }
   if (write_output) {
     const std::string manifest_path = args.Get("--out", "out/trace") +
@@ -615,7 +678,106 @@ int RunAnalyzeFromEvents(const Args& args) {
   return 0;
 }
 
+// `analyze --telemetry FILE [--trace DIR]`: verify a telemetry stream
+// against its embedded digest and summarize it. The sample-derived half is
+// recomputed from the stream itself (self-integrity: any edited line flips
+// it); with --trace the job-derived Table 3 half is recomputed from the
+// native trace with the same code path the writer used, so both checks are
+// exact, not within-epsilon.
+int RunAnalyzeTelemetry(const Args& args) {
+  const std::string path = args.Get("--telemetry", "");
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open telemetry stream %s\n", path.c_str());
+    return 1;
+  }
+  TelemetryDigest written;
+  bool found_digest = false;
+  std::string error;
+  const std::vector<TelemetrySample> samples =
+      ClusterTimeSeries::ReadNdjson(in, &written, &found_digest, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "failed to parse %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("read %zu telemetry samples from %s\n", samples.size(),
+              path.c_str());
+  if (!found_digest) {
+    std::fprintf(stderr, "%s carries no digest line; cannot verify\n",
+                 path.c_str());
+    return 1;
+  }
+
+  const TelemetryDigest recomputed = DigestOfSamples(samples);
+  if (!SampleAggregatesEqual(recomputed, written)) {
+    std::fprintf(stderr,
+                 "sample digest mismatch: stream says samples=%lld "
+                 "used_gpu_samples=%lld occ_sum=%.17g util_obs_sum=%.17g, "
+                 "recomputed samples=%lld used_gpu_samples=%lld occ_sum=%.17g "
+                 "util_obs_sum=%.17g\n",
+                 static_cast<long long>(written.samples),
+                 static_cast<long long>(written.used_gpu_samples),
+                 written.occupancy_sum, written.util_observed_sum,
+                 static_cast<long long>(recomputed.samples),
+                 static_cast<long long>(recomputed.used_gpu_samples),
+                 recomputed.occupancy_sum, recomputed.util_observed_sum);
+    return 1;
+  }
+  std::printf("sample aggregates verified against the embedded digest\n");
+
+  // Table 3 aggregate means, rebuilt from the digest the writer derived.
+  std::printf("\n=== Table 3 utilization aggregates (from telemetry) ===\n");
+  TextTable table({"class", "weight", "mean util (%)"});
+  static const char* kClassNames[TelemetryDigest::kNumClasses] = {
+      "1 GPU", "4 GPU", "8 GPU", "16 GPU", "all"};
+  for (int c = 0; c < TelemetryDigest::kNumClasses; ++c) {
+    const double weight = written.util_weight[static_cast<size_t>(c)];
+    const double mean =
+        weight > 0.0
+            ? written.util_weighted_sum[static_cast<size_t>(c)] / weight
+            : 0.0;
+    table.AddRow({kClassNames[c], FormatDouble(weight, 0),
+                  FormatDouble(mean, 2)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const std::string dir = args.Get("--trace", "");
+  if (!dir.empty()) {
+    std::ifstream jobs_csv(dir + "/jobs.csv");
+    std::ifstream attempts_csv(dir + "/attempts.csv");
+    std::ifstream util_csv(dir + "/gpu_util.csv");
+    std::ifstream stdout_log(dir + "/stdout.log");
+    if (!jobs_csv || !attempts_csv || !util_csv || !stdout_log) {
+      std::fprintf(stderr, "cannot open native trace files under %s\n",
+                   dir.c_str());
+      return 1;
+    }
+    const auto native =
+        TraceReader::ReadJobs(jobs_csv, attempts_csv, util_csv, stdout_log);
+    const TelemetryDigest from_trace = ComputeUtilDigest(native);
+    if (!JobAggregatesEqual(from_trace, written)) {
+      std::fprintf(stderr,
+                   "utilization digest mismatch: stream says jobs=%lld "
+                   "segments=%lld overall wsum=%.17g, trace says jobs=%lld "
+                   "segments=%lld overall wsum=%.17g\n",
+                   static_cast<long long>(written.jobs),
+                   static_cast<long long>(written.segments),
+                   written.util_weighted_sum[TelemetryDigest::kOverallClass],
+                   static_cast<long long>(from_trace.jobs),
+                   static_cast<long long>(from_trace.segments),
+                   from_trace.util_weighted_sum[TelemetryDigest::kOverallClass]);
+      return 1;
+    }
+    std::printf("cross-check passed: utilization aggregates match the native "
+                "trace (%zu jobs)\n", native.size());
+  }
+  return 0;
+}
+
 int RunAnalyze(const Args& args) {
+  if (args.values.count("--telemetry") > 0) {
+    return RunAnalyzeTelemetry(args);
+  }
   if (args.values.count("--from-events") > 0) {
     return RunAnalyzeFromEvents(args);
   }
