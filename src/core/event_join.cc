@@ -173,6 +173,12 @@ SimulationResult JoinSchedulerEvents(const std::vector<SchedEvent>& events,
         job->overtaken = e.overtaken;
         break;
       }
+      case SchedEventKind::kCkptBegin:
+      case SchedEventKind::kCkptEnd:
+      case SchedEventKind::kCkptStall:
+        // Checkpoint I/O timeline markers; the stall/overhead accounting they
+        // mirror lives in SimulationResult counters, not per-job records.
+        break;
     }
   }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace philly {
 namespace {
@@ -19,6 +22,39 @@ uint64_t Mix64(uint64_t x) {
 
 SimDuration HoursToSeconds(double hours) {
   return std::max<SimDuration>(1, static_cast<SimDuration>(hours * 3600.0));
+}
+
+// Degenerate configs used to be silently clamped, which turned typos like a
+// negative MTBF into a surprise renewal stream instead of an error. Reject
+// them at construction with the offending field named (0 MTBF stays the
+// documented "class disabled" value).
+void ValidateConfig(const FaultProcessConfig& config) {
+  const auto require = [](bool ok, const char* field, double value) {
+    if (!ok) {
+      throw std::invalid_argument(
+          std::string("FaultProcessConfig: ") + field + " = " +
+          std::to_string(value) + " is invalid (must be finite and >= 0; " +
+          "repair medians/p90s must be > 0)");
+    }
+  };
+  const auto mtbf_ok = [](double v) { return std::isfinite(v) && v >= 0.0; };
+  const auto repair_ok = [](double v) { return std::isfinite(v) && v > 0.0; };
+  require(mtbf_ok(config.server_crash_mtbf_hours), "server_crash_mtbf_hours",
+          config.server_crash_mtbf_hours);
+  require(mtbf_ok(config.gpu_ecc_mtbf_hours), "gpu_ecc_mtbf_hours",
+          config.gpu_ecc_mtbf_hours);
+  require(mtbf_ok(config.rack_outage_mtbf_hours), "rack_outage_mtbf_hours",
+          config.rack_outage_mtbf_hours);
+  require(repair_ok(config.server_repair_median_hours),
+          "server_repair_median_hours", config.server_repair_median_hours);
+  require(repair_ok(config.server_repair_p90_hours), "server_repair_p90_hours",
+          config.server_repair_p90_hours);
+  require(repair_ok(config.rack_repair_median_hours),
+          "rack_repair_median_hours", config.rack_repair_median_hours);
+  require(repair_ok(config.rack_repair_p90_hours), "rack_repair_p90_hours",
+          config.rack_repair_p90_hours);
+  require(config.detection_delay >= 0, "detection_delay",
+          static_cast<double>(config.detection_delay));
 }
 
 }  // namespace
@@ -46,14 +82,14 @@ FaultProcessConfig FaultProcessConfig::Calibrated() {
 
 FaultProcess::FaultProcess(const FaultProcessConfig& config, int num_servers,
                            int num_racks)
-    : config_(config),
+    : config_((ValidateConfig(config), config)),
       server_repair_fit_(LognormalSpec::FromMedianP90(
-          std::max(1e-3, config.server_repair_median_hours),
-          std::max(std::max(1e-3, config.server_repair_median_hours),
+          config.server_repair_median_hours,
+          std::max(config.server_repair_median_hours,
                    config.server_repair_p90_hours))),
       rack_repair_fit_(LognormalSpec::FromMedianP90(
-          std::max(1e-3, config.rack_repair_median_hours),
-          std::max(std::max(1e-3, config.rack_repair_median_hours),
+          config.rack_repair_median_hours,
+          std::max(config.rack_repair_median_hours,
                    config.rack_repair_p90_hours))) {
   assert(num_servers >= 0 && num_racks >= 0);
   server_rng_.reserve(static_cast<size_t>(num_servers));

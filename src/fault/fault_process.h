@@ -92,6 +92,10 @@ struct FaultProcessConfig {
 
 class FaultProcess {
  public:
+  // Throws std::invalid_argument for degenerate configs: negative or
+  // non-finite MTBFs, non-positive or non-finite repair medians/p90s, or a
+  // negative detection delay. A 0 MTBF remains the documented "class
+  // disabled" value.
   FaultProcess(const FaultProcessConfig& config, int num_servers, int num_racks);
 
   bool enabled() const { return config_.Enabled(); }

@@ -11,8 +11,9 @@ namespace philly {
 namespace {
 
 constexpr std::string_view kKindNames[kNumSchedEventKinds] = {
-    "submit",  "queued",  "locality_relax", "backoff", "schedule",
-    "preempt", "migrate", "fault_kill",     "requeue", "complete",
+    "submit",  "queued",  "locality_relax", "backoff",    "schedule",
+    "preempt", "migrate", "fault_kill",     "requeue",    "complete",
+    "ckpt_begin", "ckpt_end", "ckpt_stall",
 };
 
 void AppendEscaped(std::string& out, std::string_view s) {
@@ -103,6 +104,9 @@ std::string ToNdjsonLine(const SchedEvent& e) {
   if (e.attempt >= 0) {
     AppendField(out, "attempt", static_cast<int64_t>(e.attempt));
   }
+  if (e.rack >= 0) {
+    AppendField(out, "rack", static_cast<int64_t>(e.rack));
+  }
   if (e.kind == SchedEventKind::kSchedule) {
     AppendField(out, "ready", e.ready_time);
     AppendField(out, "wait", e.wait);
@@ -173,6 +177,7 @@ bool SchedEventFromNdjsonLine(std::string_view line, SchedEvent* event,
   e.user = static_cast<int32_t>(as_i64("user", -1));
   e.gpus = static_cast<int>(as_i64("gpus", 0));
   e.attempt = static_cast<int>(as_i64("attempt", -1));
+  e.rack = static_cast<int32_t>(as_i64("rack", -1));
   e.ready_time = as_i64("ready", 0);
   e.wait = as_i64("wait", 0);
   e.fair_share_time = as_i64("fair", 0);

@@ -40,9 +40,14 @@ enum class SchedEventKind {
   kFaultKill,      // attempt killed by a machine fault (detail: reason)
   kRequeue,        // job re-entered its VC queue after an attempt ended
   kComplete,       // job reached a final status
+  kCkptBegin,      // checkpoint write started draining (detail: policy)
+  kCkptEnd,        // checkpoint write completed, or aborted mid-flight
+                   // (detail: "interrupted"); delay = elapsed write time
+  kCkptStall,      // contention stretch of a completed write beyond its
+                   // uncontended cost; delay = stall seconds
 };
 
-inline constexpr int kNumSchedEventKinds = 10;
+inline constexpr int kNumSchedEventKinds = 13;
 
 std::string_view ToString(SchedEventKind kind);
 bool SchedEventKindFromString(std::string_view text, SchedEventKind* kind);
@@ -85,7 +90,12 @@ struct SchedEvent {
   SimDuration delay = 0;
 
   // kFaultKill: GPU-seconds thrown away by this kill.
+  // kCkptStall: GPU-seconds of contention stretch (stall x gang GPUs).
   double lost_gpu_seconds = 0.0;
+
+  // kCkpt*: rack whose shared storage the write drains (-1 = not a
+  // checkpoint event; omitted from the encoding).
+  int32_t rack = -1;
 
   // Kind-specific tag: schedule source ("pass" | "migrate" | "prerun"),
   // preemption mode ("fairshare" | "priority" | "timeslice"), or the

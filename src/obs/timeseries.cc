@@ -129,6 +129,15 @@ std::string ToNdjsonLine(const TelemetrySample& s) {
   if (s.lost_gpu_seconds != 0.0) {
     AppendField(out, "lost_gpu_s", s.lost_gpu_seconds);
   }
+  if (s.ckpt_writes != 0) {
+    AppendField(out, "ckpt_writes", s.ckpt_writes);
+  }
+  if (s.ckpt_overhead_gpu_seconds != 0.0) {
+    AppendField(out, "ckpt_overhead_gpu_s", s.ckpt_overhead_gpu_seconds);
+  }
+  if (s.ckpt_stall_gpu_seconds != 0.0) {
+    AppendField(out, "ckpt_stall_gpu_s", s.ckpt_stall_gpu_seconds);
+  }
   if (s.util_expected_pct != 0.0) {
     AppendField(out, "util_exp", s.util_expected_pct);
   }
@@ -140,6 +149,11 @@ std::string ToNdjsonLine(const TelemetrySample& s) {
   AppendIntArray(out, "vc_running", s.vc_running);
   AppendIntArray(out, "vc_gpus", s.vc_used_gpus);
   AppendIntArray(out, "util_deciles", s.util_deciles);
+  // Present only when the checkpoint I/O model is enabled (byte-identity for
+  // disabled-model streams).
+  if (!s.ckpt_rack_writers.empty()) {
+    AppendIntArray(out, "ckpt_writers", s.ckpt_rack_writers);
+  }
   out += '}';
   return out;
 }
@@ -181,12 +195,16 @@ bool TelemetrySampleFromNdjsonLine(std::string_view line, TelemetrySample* sampl
   s.migrations = as_i64("migrate", 0);
   s.fault_kills = as_i64("fault_kill", 0);
   s.lost_gpu_seconds = v["lost_gpu_s"].AsNumber(0.0);
+  s.ckpt_writes = as_i64("ckpt_writes", 0);
+  s.ckpt_overhead_gpu_seconds = v["ckpt_overhead_gpu_s"].AsNumber(0.0);
+  s.ckpt_stall_gpu_seconds = v["ckpt_stall_gpu_s"].AsNumber(0.0);
   s.util_expected_pct = v["util_exp"].AsNumber(0.0);
   s.util_observed_pct = v["util_obs"].AsNumber(0.0);
   s.rack_free_gpus = ReadIntArray(v, "rack_free");
   s.vc_queued = ReadIntArray(v, "vc_queued");
   s.vc_running = ReadIntArray(v, "vc_running");
   s.vc_used_gpus = ReadIntArray(v, "vc_gpus");
+  s.ckpt_rack_writers = ReadIntArray(v, "ckpt_writers");
   const std::vector<int> deciles = ReadIntArray(v, "util_deciles");
   for (size_t i = 0; i < s.util_deciles.size() && i < deciles.size(); ++i) {
     s.util_deciles[i] = deciles[i];

@@ -71,6 +71,16 @@ struct TelemetrySample {
   int64_t fault_kills = 0;
   double lost_gpu_seconds = 0.0;
 
+  // Checkpoint I/O view (populated only when the I/O model is enabled; the
+  // array is omitted from the encoding when empty so disabled-model streams
+  // stay byte-identical to pre-checkpoint builds). ckpt_rack_writers[r] is
+  // the number of writes draining rack r's storage at sample time; the
+  // scalars are cumulative completed-write and cost counters.
+  std::vector<int> ckpt_rack_writers;
+  int64_t ckpt_writes = 0;
+  double ckpt_overhead_gpu_seconds = 0.0;
+  double ckpt_stall_gpu_seconds = 0.0;
+
   // Busy-GPU-weighted utilization, percent.
   double util_expected_pct = 0.0;  // from the loss-curve expectation
   double util_observed_pct = 0.0;  // with the Ganglia AR(1) jitter join

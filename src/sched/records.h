@@ -141,6 +141,11 @@ struct SimulationResult {
     int offline_servers = 0;
     int64_t machine_fault_kills_total = 0;
     double machine_fault_lost_gpu_seconds_total = 0.0;
+    // Checkpoint I/O state at snapshot time (all zero when the I/O model is
+    // disabled).
+    int64_t ckpt_writes_completed_total = 0;
+    double ckpt_overhead_gpu_seconds_total = 0.0;
+    double ckpt_stall_gpu_seconds_total = 0.0;
   };
   std::vector<OccupancySnapshot> occupancy_snapshots;
 
@@ -170,6 +175,24 @@ struct SimulationResult {
   // GPU-seconds thrown away by faults: work past the last checkpoint plus the
   // undetected dead window between fault and detection.
   double machine_fault_lost_gpu_seconds = 0.0;
+
+  // Checkpoint I/O accounting (src/fault/checkpoint_io; all zero when the
+  // I/O model is disabled). Every write's elapsed time splits exactly into
+  // overhead (up to the uncontended cost) and stall (the contention stretch),
+  // each charged across the gang's GPUs.
+  int64_t ckpt_writes_started = 0;
+  int64_t ckpt_writes_completed = 0;
+  int64_t ckpt_writes_interrupted = 0;  // aborted by fault/suspension mid-write
+  double ckpt_overhead_gpu_seconds = 0.0;
+  double ckpt_stall_gpu_seconds = 0.0;
+
+  // GPU-time conservation ledger over non-prerun attempts: allocated equals
+  // useful + machine_fault_lost + ckpt_overhead + ckpt_stall exactly (the
+  // property the conservation test asserts). Useful can dip negative for a
+  // single attempt whose fault kill discards prior attempts' progress; the
+  // run-level sum is the meaningful quantity.
+  double allocated_gpu_seconds = 0.0;
+  double useful_gpu_seconds = 0.0;
 
   // Discrete events the simulator processed for this run (engine throughput
   // denominator for events/sec reporting; not a scheduler statistic).

@@ -2,6 +2,18 @@
 
 namespace philly {
 
+std::string_view ToString(CheckpointPolicy policy) {
+  switch (policy) {
+    case CheckpointPolicy::kFixedPeriod:
+      return "fixed-period";
+    case CheckpointPolicy::kDalyOptimal:
+      return "daly-optimal";
+    case CheckpointPolicy::kCooperativeStagger:
+      return "cooperative-stagger";
+  }
+  return "?";
+}
+
 SchedulerConfig SchedulerConfig::Philly() {
   SchedulerConfig c;
   c.name = "philly";

@@ -14,6 +14,7 @@
 #define SRC_SCHED_SCHEDULER_CONFIG_H_
 
 #include <string>
+#include <string_view>
 
 #include "src/common/sim_time.h"
 #include "src/sched/placement.h"
@@ -23,6 +24,24 @@ namespace philly {
 // No periodic checkpointing: a machine-fault kill restarts the job from zero
 // clean progress.
 inline constexpr SimDuration kNoCheckpoint = 0;
+
+// How running gangs pick their checkpoint cadence. Only consulted when the
+// checkpoint I/O model (SimulationConfig::ckpt_io) is enabled; with the model
+// off, checkpoints are free and kFixedPeriod semantics apply implicitly.
+enum class CheckpointPolicy {
+  // Every gang checkpoints every checkpoint_period (today's behaviour).
+  kFixedPeriod,
+  // Per-gang period from Daly's tau = sqrt(2 * write_cost * MTBF), using the
+  // configured fault MTBFs scaled to the gang's server/rack footprint and the
+  // gang's uncontended write cost. Faults disabled => no checkpoints.
+  kDalyOptimal,
+  // Fixed period, plus a per-rack coordinator that phase-shifts first writes
+  // across gangs and admission-limits concurrent writers (deferred gangs keep
+  // training until a slot frees).
+  kCooperativeStagger,
+};
+
+std::string_view ToString(CheckpointPolicy policy);
 
 enum class QueueOrdering {
   kFifoArrival,                // Philly / Gandiva: arrival time
@@ -116,6 +135,8 @@ struct SchedulerConfig {
   // restarts from zero. Only machine-fault kills consult this — scheduler
   // preemption already checkpoints at epoch granularity (§2.3).
   SimDuration checkpoint_period = kNoCheckpoint;
+  // Cadence policy for explicit checkpoint writes when the I/O model is on.
+  CheckpointPolicy checkpoint_policy = CheckpointPolicy::kFixedPeriod;
 
   PlacerConfig placer;
 

@@ -54,6 +54,13 @@ ClusterSimulation::ClusterSimulation(SimulationConfig config, std::vector<JobSpe
           }(),
           cluster_.NumServers(), cluster_.NumRacks()),
       health_(cluster_.NumServers()) {
+  if (config_.ckpt_io.Enabled()) {
+    ckpt_model_ = std::make_unique<CheckpointIoModel>(
+        config_.ckpt_io.rack_bandwidth_gbps, cluster_.NumRacks());
+    ckpt_rack_event_.assign(static_cast<size_t>(cluster_.NumRacks()), EventId{});
+    ckpt_wait_queue_.assign(static_cast<size_t>(cluster_.NumRacks()), {});
+    ckpt_stagger_slot_.assign(static_cast<size_t>(cluster_.NumRacks()), 0);
+  }
   SchedulerConfig::RetryPolicyKind kind = config_.scheduler.retry_policy;
   if (config_.scheduler.adaptive_retry) {
     kind = SchedulerConfig::RetryPolicyKind::kAdaptive;
@@ -698,9 +705,257 @@ void ClusterSimulation::StartAttempt(JobState& job, const Placement& placement) 
   } else {
     job.quantum_event = EventId{};
   }
+  CkptSetupAttempt(job, duration);
 
   OpenSegment(job);
   RefreshCotenantSegments(placement, id);
+}
+
+SimDuration ClusterSimulation::ResolveCheckpointPeriod(const JobState& job) const {
+  const auto& io = config_.ckpt_io;
+  switch (config_.scheduler.checkpoint_policy) {
+    case CheckpointPolicy::kFixedPeriod:
+    case CheckpointPolicy::kCooperativeStagger:
+      return config_.scheduler.checkpoint_period;
+    case CheckpointPolicy::kDalyOptimal: {
+      // Gang MTBF from the configured fault rates scaled to the placement's
+      // footprint: each spanned server contributes the crash and ECC rates,
+      // each spanned rack the switch-outage rate.
+      const auto& fault = config_.fault;
+      const Placement& placement = job.record.attempts.back().placement;
+      double rate_per_hour = 0.0;
+      if (fault.server_crash_mtbf_hours > 0.0) {
+        rate_per_hour += placement.NumServers() / fault.server_crash_mtbf_hours;
+      }
+      if (fault.gpu_ecc_mtbf_hours > 0.0) {
+        rate_per_hour += placement.NumServers() / fault.gpu_ecc_mtbf_hours;
+      }
+      if (fault.rack_outage_mtbf_hours > 0.0) {
+        std::vector<RackId> racks;
+        for (const auto& shard : placement.shards) {
+          const RackId r = cluster_.ServerRack(shard.server);
+          if (std::find(racks.begin(), racks.end(), r) == racks.end()) {
+            racks.push_back(r);
+          }
+        }
+        rate_per_hour += racks.size() / fault.rack_outage_mtbf_hours;
+      }
+      if (rate_per_hour <= 0.0) {
+        return 0;  // no faults expected: checkpointing is pure overhead
+      }
+      const double write_cost =
+          io.size_gb_per_gpu * placement.NumGpus() / io.rack_bandwidth_gbps;
+      return DalyOptimalPeriod(write_cost, 3600.0 / rate_per_hour,
+                               io.min_period, io.max_period);
+    }
+  }
+  return 0;
+}
+
+void ClusterSimulation::CkptSetupAttempt(JobState& job, SimDuration duration) {
+  job.ckpt_period = 0;
+  job.ckpt_time_attempt = 0;
+  job.ckpt_writing = false;
+  job.ckpt_waiting = false;
+  job.ckpt_trigger_event = EventId{};
+  if (ckpt_model_ == nullptr || job.kind != AttemptKind::kClean) {
+    return;
+  }
+  const SimDuration period = ResolveCheckpointPeriod(job);
+  if (period <= 0) {
+    return;
+  }
+  const Placement& placement = job.record.attempts.back().placement;
+  job.ckpt_period = period;
+  job.ckpt_progress_needed = duration;
+  // Multi-rack gangs write through the rack of their first shard (one
+  // storage target per gang; see docs/failure-model.md).
+  job.ckpt_rack = cluster_.ServerRack(placement.shards.front().server);
+  const double size_gb = config_.ckpt_io.size_gb_per_gpu * placement.NumGpus();
+  job.ckpt_nominal = std::max<SimDuration>(
+      1, static_cast<SimDuration>(
+             std::ceil(size_gb / config_.ckpt_io.rack_bandwidth_gbps)));
+  job.ckpt_durable = job.clean_executed;
+  SimDuration phase = 0;
+  if (config_.scheduler.checkpoint_policy ==
+      CheckpointPolicy::kCooperativeStagger) {
+    const int slots = std::max(1, config_.ckpt_io.stagger_slots);
+    int& slot = ckpt_stagger_slot_[static_cast<size_t>(job.ckpt_rack)];
+    phase = static_cast<SimDuration>(slot) * (period / slots);
+    slot = (slot + 1) % slots;
+  }
+  CkptScheduleTrigger(job, sim_.Now() + period + phase);
+}
+
+void ClusterSimulation::CkptScheduleTrigger(JobState& job, SimTime at) {
+  const JobId id = job.spec.id;
+  job.ckpt_trigger_event = sim_.ScheduleAt(at, [this, id] { OnCkptTrigger(id); });
+}
+
+void ClusterSimulation::OnCkptTrigger(JobId id) {
+  JobState& job = StateOf(id);
+  job.ckpt_trigger_event = EventId{};
+  if (job.phase != Phase::kRunning || job.ckpt_period <= 0) {
+    return;  // stale trigger (attempt already ended this instant)
+  }
+  const SimDuration progress =
+      (sim_.Now() - job.attempt_start) - job.ckpt_time_attempt;
+  if (progress >= job.ckpt_progress_needed) {
+    return;  // the attempt completes at this same instant; nothing to write
+  }
+  CkptAdmitOrQueue(job);
+}
+
+void ClusterSimulation::CkptAdmitOrQueue(JobState& job) {
+  if (config_.scheduler.checkpoint_policy ==
+          CheckpointPolicy::kCooperativeStagger &&
+      ckpt_model_->Writers(job.ckpt_rack) >=
+          config_.ckpt_io.max_writers_per_rack) {
+    job.ckpt_waiting = true;
+    ckpt_wait_queue_[static_cast<size_t>(job.ckpt_rack)].push_back(job.spec.id);
+    return;  // training continues; admitted when a slot frees
+  }
+  CkptBeginWrite(job);
+}
+
+void ClusterSimulation::CkptBeginWrite(JobState& job) {
+  const SimTime now = sim_.Now();
+  job.ckpt_waiting = false;
+  job.ckpt_writing = true;
+  job.ckpt_write_start = now;
+  job.ckpt_progress_at_write =
+      (now - job.attempt_start) - job.ckpt_time_attempt;
+  // Progress stalls while the write drains: park the end event until the
+  // write completes (CkptCompleteWrite reschedules it for the remainder).
+  sim_.Cancel(job.end_event);
+  job.end_event = EventId{};
+  ++result_.ckpt_writes_started;
+  const Placement& placement = job.record.attempts.back().placement;
+  ckpt_model_->BeginWrite(job.ckpt_rack, job.spec.id,
+                          config_.ckpt_io.size_gb_per_gpu * placement.NumGpus(),
+                          now);
+  CkptRescheduleRack(job.ckpt_rack);
+  if (SchedEvent* e = EmitEvent(SchedEventKind::kCkptBegin, &job); e != nullptr) {
+    e->attempt = job.record.attempts.back().index;
+    e->rack = job.ckpt_rack;
+    e->delay = job.ckpt_nominal;
+    e->detail = std::string(ToString(config_.scheduler.checkpoint_policy));
+  }
+}
+
+void ClusterSimulation::CkptCompleteWrite(JobState& job) {
+  const SimTime now = sim_.Now();
+  const SimDuration elapsed = now - job.ckpt_write_start;
+  const SimDuration overhead = std::min(elapsed, job.ckpt_nominal);
+  const SimDuration stall = elapsed - overhead;
+  const int gpus = job.record.attempts.back().placement.NumGpus();
+  job.ckpt_writing = false;
+  job.ckpt_time_attempt += elapsed;
+  job.ckpt_durable = job.clean_executed + job.ckpt_progress_at_write;
+  ++result_.ckpt_writes_completed;
+  result_.ckpt_overhead_gpu_seconds += static_cast<double>(overhead) * gpus;
+  result_.ckpt_stall_gpu_seconds += static_cast<double>(stall) * gpus;
+  // Resume training for the remaining progress (strictly positive: a write
+  // never begins once the attempt's progress target is reached).
+  const JobId id = job.spec.id;
+  job.end_event =
+      sim_.ScheduleAfter(job.ckpt_progress_needed - job.ckpt_progress_at_write,
+                         [this, id] { OnAttemptEnd(id); });
+  CkptScheduleTrigger(job, now + job.ckpt_period);
+  if (SchedEvent* e = EmitEvent(SchedEventKind::kCkptEnd, &job); e != nullptr) {
+    e->attempt = job.record.attempts.back().index;
+    e->rack = job.ckpt_rack;
+    e->delay = elapsed;
+  }
+  if (stall > 0) {
+    if (SchedEvent* e = EmitEvent(SchedEventKind::kCkptStall, &job);
+        e != nullptr) {
+      e->attempt = job.record.attempts.back().index;
+      e->rack = job.ckpt_rack;
+      e->delay = stall;
+      e->lost_gpu_seconds = static_cast<double>(stall) * gpus;
+    }
+  }
+}
+
+void ClusterSimulation::OnCkptRackEvent(RackId rack) {
+  ckpt_rack_event_[static_cast<size_t>(rack)] = EventId{};
+  for (JobId id : ckpt_model_->CollectCompleted(rack, sim_.Now())) {
+    CkptCompleteWrite(StateOf(id));
+  }
+  CkptAdmitWaiters(rack);
+  CkptRescheduleRack(rack);
+}
+
+void ClusterSimulation::CkptAdmitWaiters(RackId rack) {
+  auto& queue = ckpt_wait_queue_[static_cast<size_t>(rack)];
+  while (!queue.empty() && ckpt_model_->Writers(rack) <
+                               config_.ckpt_io.max_writers_per_rack) {
+    JobState& job = StateOf(queue.front());
+    queue.erase(queue.begin());
+    job.ckpt_waiting = false;
+    // A deferred gang kept training; if it reached its progress target while
+    // waiting, its end event fires this instant — drop the stale request.
+    const SimDuration progress =
+        (sim_.Now() - job.attempt_start) - job.ckpt_time_attempt;
+    if (progress >= job.ckpt_progress_needed) {
+      continue;
+    }
+    CkptBeginWrite(job);
+  }
+}
+
+void ClusterSimulation::CkptRescheduleRack(RackId rack) {
+  EventId& event = ckpt_rack_event_[static_cast<size_t>(rack)];
+  if (event.value != 0) {
+    sim_.Cancel(event);
+    event = EventId{};
+  }
+  const auto next = ckpt_model_->NextCompletion(rack, sim_.Now());
+  if (next.has_value()) {
+    event = sim_.ScheduleAt(*next, [this, rack] { OnCkptRackEvent(rack); });
+  }
+}
+
+void ClusterSimulation::CkptOnAttemptStopped(JobState& job) {
+  if (job.ckpt_period <= 0) {
+    return;
+  }
+  if (job.ckpt_trigger_event.value != 0) {
+    sim_.Cancel(job.ckpt_trigger_event);
+    job.ckpt_trigger_event = EventId{};
+  }
+  if (job.ckpt_waiting) {
+    auto& queue = ckpt_wait_queue_[static_cast<size_t>(job.ckpt_rack)];
+    queue.erase(std::remove(queue.begin(), queue.end(), job.spec.id),
+                queue.end());
+    job.ckpt_waiting = false;
+  }
+  if (job.ckpt_writing) {
+    // Abort mid-write: the partial elapsed time is still paid for (split
+    // into overhead and stall like a completed write), but nothing becomes
+    // durable. The freed bandwidth immediately speeds up the rack's other
+    // writers, and a deferred writer may take the slot.
+    const SimTime now = sim_.Now();
+    const SimDuration elapsed = now - job.ckpt_write_start;
+    const SimDuration overhead = std::min(elapsed, job.ckpt_nominal);
+    const SimDuration stall = elapsed - overhead;
+    const int gpus = job.record.attempts.back().placement.NumGpus();
+    job.ckpt_time_attempt += elapsed;
+    job.ckpt_writing = false;
+    ++result_.ckpt_writes_interrupted;
+    result_.ckpt_overhead_gpu_seconds += static_cast<double>(overhead) * gpus;
+    result_.ckpt_stall_gpu_seconds += static_cast<double>(stall) * gpus;
+    ckpt_model_->AbortWrite(job.ckpt_rack, job.spec.id, now);
+    if (SchedEvent* e = EmitEvent(SchedEventKind::kCkptEnd, &job); e != nullptr) {
+      e->attempt = job.record.attempts.back().index;
+      e->rack = job.ckpt_rack;
+      e->delay = elapsed;
+      e->detail = "interrupted";
+    }
+    CkptAdmitWaiters(job.ckpt_rack);
+    CkptRescheduleRack(job.ckpt_rack);
+  }
 }
 
 double ClusterSimulation::ComputeExpectedUtil(const JobState& job,
@@ -890,6 +1145,20 @@ void ClusterSimulation::FillTelemetrySample(TelemetrySample& s) {
   s.migrations = result_.migrations;
   s.fault_kills = result_.machine_fault_kills;
   s.lost_gpu_seconds = result_.machine_fault_lost_gpu_seconds;
+
+  // Checkpoint I/O occupancy: per-rack in-flight writers plus the cumulative
+  // cost counters. Left at defaults (and omitted from the encoding) when the
+  // model is disabled so streams stay byte-identical to pre-checkpoint builds.
+  if (ckpt_model_ != nullptr) {
+    const int racks = cluster_.NumRacks();
+    s.ckpt_rack_writers.resize(racks);
+    for (int r = 0; r < racks; ++r) {
+      s.ckpt_rack_writers[r] = ckpt_model_->Writers(r);
+    }
+    s.ckpt_writes = result_.ckpt_writes_completed;
+    s.ckpt_overhead_gpu_seconds = result_.ckpt_overhead_gpu_seconds;
+    s.ckpt_stall_gpu_seconds = result_.ckpt_stall_gpu_seconds;
+  }
 }
 
 void ClusterSimulation::OnAttemptEnd(JobId id) {
@@ -905,6 +1174,12 @@ void ClusterSimulation::OnAttemptEnd(JobId id) {
   AttemptRecord& attempt = job.record.attempts.back();
   attempt.end = now;
   job.record.gpu_seconds += attempt.GpuTime();
+  CkptOnAttemptStopped(job);  // not writing here (the end event was parked
+                              // during writes); cancels the pending trigger
+  result_.allocated_gpu_seconds += attempt.GpuTime();
+  result_.useful_gpu_seconds +=
+      attempt.GpuTime() - static_cast<double>(job.ckpt_time_attempt) *
+                              attempt.placement.NumGpus();
 
   cluster_.Release(id);
   TelemetryTrackStop(job);
@@ -912,7 +1187,7 @@ void ClusterSimulation::OnAttemptEnd(JobId id) {
   RefreshCotenantSegments(attempt.placement, id);
 
   if (job.kind == AttemptKind::kClean) {
-    job.clean_executed += attempt.Duration();
+    job.clean_executed += AttemptExecuted(job, attempt);
     const SimDuration epoch = std::max<SimDuration>(1, job.spec.EpochDuration());
     job.record.executed_epochs = static_cast<int>(
         std::min<int64_t>(job.spec.planned_epochs, job.clean_executed / epoch));
@@ -1012,7 +1287,12 @@ void ClusterSimulation::SuspendAttempt(JobState& job) {
   AttemptRecord& attempt = job.record.attempts.back();
   attempt.end = sim_.Now();
   job.record.gpu_seconds += attempt.GpuTime();
-  job.clean_executed += attempt.Duration();
+  CkptOnAttemptStopped(job);  // may abort an in-flight write mid-suspension
+  result_.allocated_gpu_seconds += attempt.GpuTime();
+  result_.useful_gpu_seconds +=
+      attempt.GpuTime() - static_cast<double>(job.ckpt_time_attempt) *
+                              attempt.placement.NumGpus();
+  job.clean_executed += AttemptExecuted(job, attempt);
   // Keep the recorded epoch count current while the job sits requeued:
   // time-sliced and migrated jobs otherwise undercount epochs until their
   // next clean attempt completes (OnAttemptEnd and PreemptJob both do this).
@@ -1143,11 +1423,16 @@ void ClusterSimulation::PreemptJob(JobState& victim) {
   attempt.true_reason = FailureReason::kJobPreempted;
   attempt.log_tail = synthesizer_.LinesFor(FailureReason::kJobPreempted, rng_);
   victim.record.gpu_seconds += attempt.GpuTime();
+  CkptOnAttemptStopped(victim);  // may abort an in-flight write
+  result_.allocated_gpu_seconds += attempt.GpuTime();
+  result_.useful_gpu_seconds +=
+      attempt.GpuTime() - static_cast<double>(victim.ckpt_time_attempt) *
+                              attempt.placement.NumGpus();
 
   if (victim.kind == AttemptKind::kClean) {
     // Model-checkpoint preemption: progress persists at epoch granularity.
     const SimDuration epoch = std::max<SimDuration>(1, victim.spec.EpochDuration());
-    const SimDuration executed = attempt.Duration();
+    const SimDuration executed = AttemptExecuted(victim, attempt);
     victim.clean_executed += (executed / epoch) * epoch;
     victim.record.executed_epochs = static_cast<int>(
         std::min<int64_t>(victim.spec.planned_epochs, victim.clean_executed / epoch));
@@ -1347,6 +1632,9 @@ void ClusterSimulation::KillAttemptForFault(JobState& job, FailureReason reason,
   attempt.true_reason = reason;
   attempt.log_tail = synthesizer_.LinesFor(reason, rng_);
   job.record.gpu_seconds += attempt.GpuTime();
+  const bool ckpt_explicit = job.ckpt_period > 0;  // before teardown clears it
+  CkptOnAttemptStopped(job);  // a fault mid-write aborts the write: nothing
+                              // becomes durable, per the I/O model contract
 
   // Work attribution: the attempt produced nothing after the fault struck
   // (the detection window is dead time), and everything after the last
@@ -1354,8 +1642,21 @@ void ClusterSimulation::KillAttemptForFault(JobState& job, FailureReason reason,
   const SimTime fault_clamped =
       std::min(now, std::max(fault_time, attempt.start));
   const int gpus = attempt.placement.NumGpus();
-  double lost = static_cast<double>(now - fault_clamped) * gpus;
-  if (job.kind == AttemptKind::kClean) {
+  double lost;
+  if (ckpt_explicit) {
+    // Explicit checkpoint writes: only *completed* writes are durable, so the
+    // job rolls back to ckpt_durable and everything since — training past the
+    // last completed write plus the undetected dead window — is lost.
+    const SimDuration training = AttemptExecuted(job, attempt);
+    lost = static_cast<double>(job.clean_executed + training -
+                               job.ckpt_durable) *
+           gpus;
+    job.clean_executed = job.ckpt_durable;
+    const SimDuration epoch = std::max<SimDuration>(1, job.spec.EpochDuration());
+    job.record.executed_epochs = static_cast<int>(
+        std::min<int64_t>(job.spec.planned_epochs, job.clean_executed / epoch));
+  } else if (job.kind == AttemptKind::kClean) {
+    lost = static_cast<double>(now - fault_clamped) * gpus;
     const SimDuration produced =
         job.clean_executed + (fault_clamped - attempt.start);
     const SimDuration ckpt = config_.scheduler.checkpoint_period;
@@ -1366,6 +1667,7 @@ void ClusterSimulation::KillAttemptForFault(JobState& job, FailureReason reason,
     job.record.executed_epochs = static_cast<int>(
         std::min<int64_t>(job.spec.planned_epochs, job.clean_executed / epoch));
   } else {
+    lost = static_cast<double>(now - fault_clamped) * gpus;
     // The trial is not consumed, but checkpoints still bound the loss: a
     // deterministic bug re-manifests after the remaining RTF, so the retried
     // attempt resumes from the last checkpoint of the doomed run.
@@ -1378,6 +1680,10 @@ void ClusterSimulation::KillAttemptForFault(JobState& job, FailureReason reason,
   }
   result_.machine_fault_lost_gpu_seconds += lost;
   ++result_.machine_fault_kills;
+  result_.allocated_gpu_seconds += attempt.GpuTime();
+  result_.useful_gpu_seconds +=
+      attempt.GpuTime() - lost -
+      static_cast<double>(job.ckpt_time_attempt) * gpus;
   if (fault_kills_metric_ != nullptr) {
     fault_kills_metric_->Increment();
     lost_gpu_metric_->Add(lost);
@@ -1412,6 +1718,9 @@ void ClusterSimulation::TakeSnapshot() {
   snap.offline_servers = cluster_.NumOfflineServers();
   snap.machine_fault_kills_total = result_.machine_fault_kills;
   snap.machine_fault_lost_gpu_seconds_total = result_.machine_fault_lost_gpu_seconds;
+  snap.ckpt_writes_completed_total = result_.ckpt_writes_completed;
+  snap.ckpt_overhead_gpu_seconds_total = result_.ckpt_overhead_gpu_seconds;
+  snap.ckpt_stall_gpu_seconds_total = result_.ckpt_stall_gpu_seconds;
   if (occupancy_metric_ != nullptr) {
     occupancy_metric_->Set(snap.occupancy);
   }

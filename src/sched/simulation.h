@@ -26,6 +26,7 @@
 
 #include "src/cluster/cluster.h"
 #include "src/failure/failure_injector.h"
+#include "src/fault/checkpoint_io.h"
 #include "src/fault/fault_process.h"
 #include "src/fault/node_health.h"
 #include "src/failure/failure_logs.h"
@@ -46,6 +47,10 @@ struct SimulationConfig {
   FailureInjectorConfig failure;
   // Machine-level fault process (disabled by default: zero MTBFs).
   FaultProcessConfig fault;
+  // Checkpoint I/O interference model (disabled by default: zero bandwidth).
+  // When enabled, clean gangs with a checkpoint cadence issue explicit writes
+  // against per-rack shared storage; see scheduler.checkpoint_policy.
+  CheckpointIoConfig ckpt_io;
   UtilModelConfig util_model;
   // Virtual-cluster definitions (quota per VC); normally taken from the
   // workload config so indices line up.
@@ -101,6 +106,27 @@ class ClusterSimulation {
     EventId end_event;
     EventId quantum_event;
 
+    // Checkpoint I/O state for the current attempt (inert when the model is
+    // disabled; see CkptSetupAttempt). Writes stall progress, so an attempt's
+    // wall time is training time + ckpt_time_attempt.
+    SimDuration ckpt_period = 0;           // policy-resolved cadence; 0 = none
+    SimDuration ckpt_progress_needed = 0;  // training time this attempt targets
+    SimDuration ckpt_nominal = 0;          // uncontended write cost, seconds
+    RackId ckpt_rack = -1;                 // rack whose storage the gang writes
+    EventId ckpt_trigger_event;
+    bool ckpt_writing = false;   // a write is draining (progress stalled)
+    bool ckpt_waiting = false;   // deferred by the rack coordinator (stagger)
+    SimTime ckpt_write_start = 0;
+    // Training time of this attempt captured by the in-flight write (the
+    // checkpoint snapshots state as of the write's begin).
+    SimDuration ckpt_progress_at_write = 0;
+    // Total write-elapsed seconds charged to this attempt so far (completed
+    // and aborted writes alike).
+    SimDuration ckpt_time_attempt = 0;
+    // Total clean progress recoverable after a machine fault: progress at
+    // attempt start plus the last *completed* write's capture.
+    SimDuration ckpt_durable = 0;
+
     SimDuration CleanRemaining() const {
       return std::max<SimDuration>(0, spec.planned_duration - clean_executed);
     }
@@ -131,6 +157,34 @@ class ClusterSimulation {
   void OnFaultRepaired(const FaultEvent& event, std::vector<ServerId> servers,
                        bool sampled);
   void KillAttemptForFault(JobState& job, FailureReason reason, SimTime fault_time);
+
+  // --- checkpoint I/O (src/fault/checkpoint_io; no-ops when disabled) ---
+  // Resolves the attempt's cadence per the configured policy and schedules
+  // its first trigger; called from StartAttempt after the end event exists.
+  void CkptSetupAttempt(JobState& job, SimDuration duration);
+  SimDuration ResolveCheckpointPeriod(const JobState& job) const;
+  void CkptScheduleTrigger(JobState& job, SimTime at);
+  void OnCkptTrigger(JobId id);
+  // Stagger admission control: begins the write or defers the gang into the
+  // rack's FIFO wait queue (training continues while deferred).
+  void CkptAdmitOrQueue(JobState& job);
+  void CkptBeginWrite(JobState& job);
+  void CkptCompleteWrite(JobState& job);
+  // A write on `rack` finished draining: complete it, admit deferred writers.
+  void OnCkptRackEvent(RackId rack);
+  void CkptAdmitWaiters(RackId rack);
+  // Re-arms the rack's single completion event after any writer-set change.
+  void CkptRescheduleRack(RackId rack);
+  // Central teardown for every attempt-termination path: cancels the pending
+  // trigger, leaves the wait queue, and aborts an in-flight write (charging
+  // its partial elapsed time to the attempt).
+  void CkptOnAttemptStopped(JobState& job);
+  // Training time the attempt actually progressed (wall time minus write
+  // stalls); equals attempt.Duration() whenever the model is off.
+  SimDuration AttemptExecuted(const JobState& job,
+                              const AttemptRecord& attempt) const {
+    return attempt.Duration() - job.ckpt_time_attempt;
+  }
 
   // --- scheduling ---
   void RequestSchedulingPass(SimDuration delay);
@@ -191,6 +245,11 @@ class ClusterSimulation {
   Rng rng_;
   FaultProcess fault_process_;
   NodeHealthTracker health_;
+  // Checkpoint I/O state (engaged only when config_.ckpt_io.Enabled()).
+  std::unique_ptr<CheckpointIoModel> ckpt_model_;
+  std::vector<EventId> ckpt_rack_event_;          // one completion event/rack
+  std::vector<std::vector<JobId>> ckpt_wait_queue_;  // stagger FIFO deferrals
+  std::vector<int> ckpt_stagger_slot_;            // next phase slot per rack
 
   std::vector<JobState> jobs_;                    // dense storage
   std::unordered_map<JobId, size_t> job_index_;   // id -> index

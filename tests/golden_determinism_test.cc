@@ -22,6 +22,7 @@
 #include "src/core/analysis.h"
 #include "src/core/experiment.h"
 #include "src/common/table.h"
+#include "src/fault/fault_process.h"
 #include "src/obs/event_log.h"
 #include "src/obs/rollup.h"
 #include "src/obs/timeseries.h"
@@ -170,6 +171,77 @@ TEST(GoldenDeterminismTest, TelemetryStreamMatchesCommittedGolden) {
   std::ostringstream stream;
   timeseries.WriteNdjson(stream, &digest);
   CompareOrUpdate("telemetry.ndjson", stream.str());
+}
+
+// Fault-enabled golden: the same fixed workload with the calibrated machine
+// fault process (MTBFs compressed so the one-day window sees real kills) and
+// the checkpoint I/O model on under the cooperative-stagger policy. Guards
+// the fault timeline, the checkpoint write/stall cadence, and the new
+// ckpt_begin/ckpt_end/ckpt_stall event kinds plus the telemetry checkpoint
+// fields against accidental drift.
+ExperimentConfig FaultGoldenConfig() {
+  ExperimentConfig config = GoldenConfig();
+  config.simulation.fault = FaultProcessConfig::Calibrated();
+  config.simulation.fault.server_crash_mtbf_hours = 24.0 * 8;
+  config.simulation.fault.gpu_ecc_mtbf_hours = 24.0 * 12;
+  config.simulation.fault.rack_outage_mtbf_hours = 24.0 * 20;
+  config.simulation.scheduler.checkpoint_period = Minutes(30);
+  config.simulation.scheduler.checkpoint_policy =
+      CheckpointPolicy::kCooperativeStagger;
+  config.simulation.ckpt_io.rack_bandwidth_gbps = 0.5;
+  config.simulation.ckpt_io.size_gb_per_gpu = 4.0;
+  return config;
+}
+
+// Renders the Table 7 failure shares in a fixed 4-decimal encoding (same
+// rationale as RenderTable2: the golden guards the numbers, not phillyctl's
+// presentation).
+std::string RenderTable7(const FailureAnalysisResult& failures) {
+  TextTable table({"reason", "trials", "jobs", "users", "rtf-share"});
+  for (const auto& row : failures.rows) {
+    if (row.trials == 0) {
+      continue;
+    }
+    table.AddRow({std::string(ToString(row.reason)), std::to_string(row.trials),
+                  std::to_string(row.jobs), std::to_string(row.users),
+                  FormatFraction(row.rtf_total_share)});
+  }
+  std::ostringstream out;
+  out << "=== Table 7: failure shares ===\n" << table.Render();
+  out << "total_trials " << failures.total_trials << "\n";
+  out << "unsuccessful_rate " << FormatFraction(failures.unsuccessful_rate_all)
+      << "\n";
+  return out.str();
+}
+
+TEST(GoldenDeterminismTest, FaultEnabledStreamsMatchCommittedGolden) {
+  EventLog log;
+  ClusterTimeSeries timeseries(Hours(6));
+  ExperimentConfig config = FaultGoldenConfig();
+  config.simulation.obs.event_log = &log;
+  config.simulation.obs.timeseries = &timeseries;
+  const ExperimentRun run = RunExperiment(config);
+
+  ASSERT_GT(run.result.machine_fault_kills, 0)
+      << "fault golden must actually exercise the fault path";
+  ASSERT_GT(run.result.ckpt_writes_completed, 0)
+      << "fault golden must actually exercise the checkpoint I/O model";
+
+  std::ostringstream events;
+  log.WriteNdjson(events);
+  CompareOrUpdate("events_fault.ndjson", events.str());
+
+  CompareOrUpdate("table7_fault.txt", RenderTable7(AnalyzeFailures(run.result.jobs)));
+
+  TelemetryDigest digest = DigestOfSamples(timeseries.samples());
+  const TelemetryDigest jobs_half = ComputeUtilDigest(run.result.jobs);
+  digest.jobs = jobs_half.jobs;
+  digest.segments = jobs_half.segments;
+  digest.util_weight = jobs_half.util_weight;
+  digest.util_weighted_sum = jobs_half.util_weighted_sum;
+  std::ostringstream stream;
+  timeseries.WriteNdjson(stream, &digest);
+  CompareOrUpdate("telemetry_fault.ndjson", stream.str());
 }
 
 // The golden stream must also be independent of observability: re-running the

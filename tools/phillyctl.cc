@@ -36,6 +36,13 @@
 //                         (node crashes, GPU ECC drains, rack outages)
 //     --checkpoint-mins N periodic-checkpoint period for machine-fault
 //                         recovery (default 0 = restart from scratch)
+//     --ckpt-policy fixed|daly|stagger  checkpoint scheduling policy when the
+//                         I/O model is on (default fixed)
+//     --ckpt-bw GBPS      per-rack shared checkpoint storage bandwidth in
+//                         GB/s; > 0 enables the checkpoint I/O interference
+//                         model (default 0 = free instantaneous checkpoints)
+//     --ckpt-size-gb-per-gpu GB  checkpoint bytes written per allocated GPU
+//                         (default 2.0; requires --ckpt-bw to take effect)
 //   Output options (simulate):
 //     --format native|philly-traces|both                 (default native)
 //   Observability options (simulate/report):
@@ -54,6 +61,7 @@
 //     --telemetry FILE    verify and summarize an NDJSON telemetry stream
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -74,6 +82,7 @@
 #include "src/core/runner.h"
 #include "src/core/report.h"
 #include "src/core/validate.h"
+#include "src/fault/checkpoint_io.h"
 #include "src/fault/fault_process.h"
 #include "src/obs/event_log.h"
 #include "src/obs/manifest.h"
@@ -113,7 +122,9 @@ Args Parse(int argc, char** argv) {
                                      "--trace",   "--figures",    "--scheduler",
                                      "--retry",   "--format",     "--seeds",
                                      "--schedulers", "--threads", "--retries",
-                                     "--checkpoint-mins", "--events-out",
+                                     "--checkpoint-mins", "--ckpt-policy",
+                                     "--ckpt-bw", "--ckpt-size-gb-per-gpu",
+                                     "--events-out",
                                      "--metrics-out", "--trace-out",
                                      "--from-events", "--telemetry-out",
                                      "--telemetry", "--html"};
@@ -181,10 +192,6 @@ bool ApplyCommonSchedulerOptions(const Args& args, SchedulerConfig* sched) {
   if (!RetryByName(args.Get("--retry", "fixed"), &sched->retry_policy)) {
     return false;
   }
-  const int checkpoint_mins = args.GetInt("--checkpoint-mins", 0);
-  if (checkpoint_mins > 0) {
-    sched->checkpoint_period = Minutes(checkpoint_mins);
-  }
   sched->enable_prerun_pool = args.Has("--prerun");
   sched->enable_migration = args.Has("--migration");
   if (args.Has("--dedicated")) {
@@ -199,6 +206,96 @@ bool ApplyCommonSchedulerOptions(const Args& args, SchedulerConfig* sched) {
 bool ApplySchedulerOptions(const Args& args, SchedulerConfig* sched) {
   return SchedulerByName(args.Get("--scheduler", "philly"), sched) &&
          ApplyCommonSchedulerOptions(args, sched);
+}
+
+// Strict numeric parsing for the fault/checkpoint knobs. std::atoi-style
+// silent defaulting would let a typo'd period or bandwidth invalidate a whole
+// fault study, so malformed values fail loudly instead (the same contract as
+// the PHILLY_BENCH_* env knobs).
+bool ParseStrictLong(const std::string& text, long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseStrictDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == text.c_str() || *end != '\0' ||
+      !std::isfinite(value)) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+// Parses and validates --checkpoint-mins and the --ckpt-* knobs into the
+// scheduler config (period, policy) and the checkpoint I/O config (bandwidth,
+// write size). Returns 0 on success; on an invalid value prints a clear
+// message and returns 1, which the caller propagates as the process exit
+// code.
+int ApplyCheckpointOptions(const Args& args, SchedulerConfig* sched,
+                           CheckpointIoConfig* ckpt_io) {
+  if (args.values.count("--checkpoint-mins") > 0) {
+    const std::string text = args.Get("--checkpoint-mins", "");
+    long mins = 0;
+    if (!ParseStrictLong(text, &mins) || mins < 0) {
+      std::fprintf(stderr,
+                   "--checkpoint-mins '%s' is invalid: expected a "
+                   "non-negative integer number of minutes (0 disables "
+                   "periodic checkpoints)\n",
+                   text.c_str());
+      return 1;
+    }
+    sched->checkpoint_period = Minutes(static_cast<int>(mins));
+  }
+  if (args.values.count("--ckpt-policy") > 0) {
+    const std::string name = args.Get("--ckpt-policy", "");
+    if (name == "fixed") {
+      sched->checkpoint_policy = CheckpointPolicy::kFixedPeriod;
+    } else if (name == "daly") {
+      sched->checkpoint_policy = CheckpointPolicy::kDalyOptimal;
+    } else if (name == "stagger") {
+      sched->checkpoint_policy = CheckpointPolicy::kCooperativeStagger;
+    } else {
+      std::fprintf(stderr,
+                   "--ckpt-policy '%s' is invalid: expected fixed, daly, or "
+                   "stagger\n",
+                   name.c_str());
+      return 1;
+    }
+  }
+  if (args.values.count("--ckpt-bw") > 0) {
+    const std::string text = args.Get("--ckpt-bw", "");
+    double bw = 0.0;
+    if (!ParseStrictDouble(text, &bw) || bw <= 0.0) {
+      std::fprintf(stderr,
+                   "--ckpt-bw '%s' is invalid: expected a positive per-rack "
+                   "bandwidth in GB/s\n",
+                   text.c_str());
+      return 1;
+    }
+    ckpt_io->rack_bandwidth_gbps = bw;
+  }
+  if (args.values.count("--ckpt-size-gb-per-gpu") > 0) {
+    const std::string text = args.Get("--ckpt-size-gb-per-gpu", "");
+    double size = 0.0;
+    if (!ParseStrictDouble(text, &size) || size <= 0.0) {
+      std::fprintf(stderr,
+                   "--ckpt-size-gb-per-gpu '%s' is invalid: expected a "
+                   "positive write size in GB per allocated GPU\n",
+                   text.c_str());
+      return 1;
+    }
+    ckpt_io->size_gb_per_gpu = size;
+  }
+  return 0;
 }
 
 // Report sections shared by `report`, `analyze --trace`, and
@@ -324,6 +421,17 @@ void PrintReport(const std::vector<JobRecord>& jobs, const SimulationResult* sim
         static_cast<long long>(sim->machine_fault_kills),
         sim->machine_fault_lost_gpu_seconds / 3600.0);
   }
+  if (sim != nullptr && sim->ckpt_writes_started > 0) {
+    std::printf(
+        "\n=== Checkpoint I/O ===\n"
+        "%lld writes started (%lld completed, %lld interrupted); "
+        "%.1f GPU-hours overhead; %.1f GPU-hours stalled on contention\n",
+        static_cast<long long>(sim->ckpt_writes_started),
+        static_cast<long long>(sim->ckpt_writes_completed),
+        static_cast<long long>(sim->ckpt_writes_interrupted),
+        sim->ckpt_overhead_gpu_seconds / 3600.0,
+        sim->ckpt_stall_gpu_seconds / 3600.0);
+  }
 }
 
 // The subset of the report a scheduler event log can reproduce on its own.
@@ -397,9 +505,13 @@ RunManifest ManifestFor(const Args& args, const ExperimentConfig& config,
   manifest.knobs["retry"] = args.Get("--retry", "fixed");
   manifest.knobs["format"] = args.Get("--format", "native");
   manifest.knobs["faults"] = args.Has("--faults") ? "on" : "off";
-  const int checkpoint_mins = args.GetInt("--checkpoint-mins", 0);
-  if (checkpoint_mins > 0) {
-    manifest.knobs["checkpoint-mins"] = std::to_string(checkpoint_mins);
+  // The checkpoint knobs were already validated by ApplyCheckpointOptions, so
+  // the raw strings can be recorded verbatim.
+  for (const char* knob : {"--checkpoint-mins", "--ckpt-policy", "--ckpt-bw",
+                           "--ckpt-size-gb-per-gpu"}) {
+    if (args.values.count(knob) > 0) {
+      manifest.knobs[knob + 2] = args.Get(knob, "");  // strip the dashes
+    }
   }
   for (const char* flag :
        {"--prerun", "--migration", "--dedicated", "--strict-locality"}) {
@@ -416,6 +528,11 @@ int RunSimulateOrReport(const Args& args, bool write_output) {
                                    static_cast<uint64_t>(args.GetInt("--seed", 42)));
   if (!ApplySchedulerOptions(args, &config.simulation.scheduler)) {
     return 2;
+  }
+  if (const int rc = ApplyCheckpointOptions(args, &config.simulation.scheduler,
+                                            &config.simulation.ckpt_io);
+      rc != 0) {
+    return rc;
   }
   if (args.Has("--faults")) {
     config.simulation.fault = FaultProcessConfig::Calibrated();
@@ -883,9 +1000,14 @@ int RunSweep(const Args& args) {
   std::vector<ExperimentConfig> configs;
   for (const std::string& name : scheduler_names) {
     SchedulerConfig sched;
+    CheckpointIoConfig ckpt_io;
     if (!SchedulerByName(name, &sched) ||
         !ApplyCommonSchedulerOptions(args, &sched)) {
       return 2;
+    }
+    if (const int rc = ApplyCheckpointOptions(args, &sched, &ckpt_io);
+        rc != 0) {
+      return rc;
     }
     for (const std::string& retry : retry_names) {
       SchedulerConfig variant = sched;
@@ -895,6 +1017,7 @@ int RunSweep(const Args& args) {
       for (const uint64_t seed : seeds) {
         ExperimentConfig config = ExperimentConfig::BenchScale(days, seed);
         config.simulation.scheduler = variant;
+        config.simulation.ckpt_io = ckpt_io;
         if (args.Has("--faults")) {
           config.simulation.fault = FaultProcessConfig::Calibrated();
         }
