@@ -1,0 +1,232 @@
+// End-to-end perf gate for the simulator core.
+//
+// Runs the full experiment twice — once on the pre-rebuild core (legacy heap
+// event queue + O(jobs)-per-snapshot epoch scan: SimEngine::kLegacyHeap with
+// legacy_snapshot_scan) and once on the calendar-queue core — and compares:
+//   * correctness: the scheduler event stream AND the telemetry stream must
+//     be byte-identical — the rebuilt engine is required to reproduce the
+//     legacy event ordering exactly (docs/perf.md);
+//   * performance: the TraceProfiler's whole-`experiment` slice, reported as
+//     a speedup ratio. CI checks the ratio, not wall seconds, which divides
+//     out machine speed.
+//
+// Output: a human-readable table plus BENCH_end_to_end.json (override with
+// --out). With `--check <baseline.json>` the bench exits 1 when the measured
+// speedup falls more than 20% below the checked-in baseline's, or when the
+// two cores' outputs diverge — that is the CI perf-smoke gate.
+//
+// The committed baseline also records a year-scale row (calendar core only):
+// set PHILLY_BENCH_YEAR_DAYS=365 to regenerate it. CI leaves it off — the
+// row documents throughput at ~500k jobs, it is not part of the gate.
+//
+// Scale knobs are the usual PHILLY_BENCH_DAYS / PHILLY_BENCH_SEED.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/common/json.h"
+#include "src/common/table.h"
+#include "src/obs/event_log.h"
+#include "src/obs/timeseries.h"
+#include "src/obs/trace_profiler.h"
+
+namespace philly {
+namespace {
+
+struct TimedRun {
+  std::string events;     // NDJSON scheduler stream (identity run only)
+  std::string telemetry;  // NDJSON telemetry stream (identity run only)
+  int64_t experiment_us = 0;  // whole-experiment profiler slice
+  size_t jobs = 0;
+};
+
+void UseLegacyCore(ExperimentConfig* config) {
+  config->simulation.engine = SimEngine::kLegacyHeap;
+  config->simulation.legacy_snapshot_scan = true;
+}
+
+// Timing and identity use separate runs: stream appends happen inside the
+// simulation, so logging during the timed run would dilute the measured
+// speedup with identical logging cost on both sides. The timed run attaches
+// only the profiler; the identity run attaches only the streams.
+TimedRun RunOnce(bool legacy, bool capture_streams, int days) {
+  ExperimentConfig config = ExperimentConfig::BenchScale(days, BenchSeed());
+  if (legacy) {
+    UseLegacyCore(&config);
+  }
+  EventLog log;
+  ClusterTimeSeries timeseries;
+  TraceProfiler profiler;
+  if (capture_streams) {
+    config.simulation.obs.event_log = &log;
+    config.simulation.obs.timeseries = &timeseries;
+  } else {
+    config.simulation.obs.profiler = &profiler;
+  }
+  const ExperimentRun run = RunExperiment(config);
+  TimedRun timed;
+  if (capture_streams) {
+    std::ostringstream events;
+    log.WriteNdjson(events);
+    timed.events = events.str();
+    std::ostringstream telemetry;
+    timeseries.WriteNdjson(telemetry);
+    timed.telemetry = telemetry.str();
+  }
+  timed.experiment_us = profiler.TotalDurationOf("experiment");
+  timed.jobs = run.result.jobs.size();
+  return timed;
+}
+
+double Seconds(int64_t us) { return static_cast<double>(us) / 1e6; }
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_end_to_end.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--out <json>] [--check <baseline.json>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  PrintHeader("simulator core: legacy heap vs calendar queue, end to end",
+              "the rebuilt event engine reproduces the legacy core "
+              "byte-identically while cutting whole-experiment time");
+
+  // Best-of-3 on each side: single-shot wall times swing with machine noise;
+  // each side's fastest run recovers the intrinsic cost.
+  constexpr int kRepeats = 3;
+  const int days = BenchDays();
+  std::printf("timing legacy core (days=%d seed=%llu, best of %d)...\n", days,
+              static_cast<unsigned long long>(BenchSeed()), kRepeats);
+  TimedRun legacy = RunOnce(/*legacy=*/true, /*capture_streams=*/false, days);
+  std::printf("timing calendar core (best of %d)...\n", kRepeats);
+  TimedRun calendar =
+      RunOnce(/*legacy=*/false, /*capture_streams=*/false, days);
+  for (int i = 1; i < kRepeats; ++i) {
+    const TimedRun l = RunOnce(/*legacy=*/true, /*capture_streams=*/false, days);
+    if (l.experiment_us < legacy.experiment_us) legacy = l;
+    const TimedRun c =
+        RunOnce(/*legacy=*/false, /*capture_streams=*/false, days);
+    if (c.experiment_us < calendar.experiment_us) calendar = c;
+  }
+  std::printf("comparing event + telemetry streams...\n");
+  const TimedRun legacy_id =
+      RunOnce(/*legacy=*/true, /*capture_streams=*/true, days);
+  const TimedRun calendar_id =
+      RunOnce(/*legacy=*/false, /*capture_streams=*/true, days);
+
+  const bool identical = legacy_id.events == calendar_id.events &&
+                         legacy_id.telemetry == calendar_id.telemetry &&
+                         !legacy_id.events.empty() &&
+                         legacy.jobs == calendar.jobs;
+  const double speedup =
+      calendar.experiment_us > 0
+          ? Seconds(legacy.experiment_us) / Seconds(calendar.experiment_us)
+          : 0.0;
+
+  TextTable table({"core", "experiment (s)", "jobs"});
+  table.AddRow({"legacy", std::to_string(Seconds(legacy.experiment_us)),
+                std::to_string(legacy.jobs)});
+  table.AddRow({"calendar", std::to_string(Seconds(calendar.experiment_us)),
+                std::to_string(calendar.jobs)});
+  std::printf("\n%s", table.Render().c_str());
+  std::printf("speedup: %.2fx (whole experiment, legacy/calendar)\n", speedup);
+  std::printf("outputs byte-identical: %s (%zu event + %zu telemetry bytes)\n",
+              identical ? "yes" : "NO", legacy_id.events.size(),
+              legacy_id.telemetry.size());
+
+  // Optional year-scale throughput row (calendar core only, single shot).
+  int year_days = 0;
+  size_t year_jobs = 0;
+  double year_s = 0.0;
+  if (const char* env = std::getenv("PHILLY_BENCH_YEAR_DAYS");
+      env != nullptr && std::atoi(env) > 0) {
+    year_days = std::atoi(env);
+    std::printf("timing calendar core at year scale (days=%d)...\n", year_days);
+    const TimedRun year =
+        RunOnce(/*legacy=*/false, /*capture_streams=*/false, year_days);
+    year_jobs = year.jobs;
+    year_s = Seconds(year.experiment_us);
+    std::printf("year scale: %d days, %zu jobs, %.2f s\n", year_days,
+                year_jobs, year_s);
+  }
+
+  {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    char buf[768];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"bench\": \"end_to_end\",\n"
+                  "  \"days\": %d,\n"
+                  "  \"seed\": %llu,\n"
+                  "  \"jobs\": %zu,\n"
+                  "  \"legacy_experiment_s\": %.6f,\n"
+                  "  \"calendar_experiment_s\": %.6f,\n"
+                  "  \"speedup\": %.4f,\n"
+                  "  \"byte_identical\": %s,\n"
+                  "  \"year_days\": %d,\n"
+                  "  \"year_jobs\": %zu,\n"
+                  "  \"year_experiment_s\": %.6f\n"
+                  "}\n",
+                  days, static_cast<unsigned long long>(BenchSeed()),
+                  legacy.jobs, Seconds(legacy.experiment_us),
+                  Seconds(calendar.experiment_us), speedup,
+                  identical ? "true" : "false", year_days, year_jobs, year_s);
+    out << buf;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: legacy and calendar runs diverged\n");
+    return 1;
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    const JsonValue baseline = JsonValue::Parse(buf.str(), &error);
+    if (!error.empty() || baseline["speedup"].is_null()) {
+      std::fprintf(stderr, "cannot parse baseline %s: %s\n",
+                   baseline_path.c_str(), error.c_str());
+      return 1;
+    }
+    const double baseline_speedup = baseline["speedup"].AsNumber();
+    // Compare ratios, not wall seconds: both runs share the machine, so the
+    // ratio divides CI-runner speed out. >20% below baseline fails.
+    const double floor = 0.8 * baseline_speedup;
+    std::printf("baseline speedup %.2fx, floor %.2fx, measured %.2fx\n",
+                baseline_speedup, floor, speedup);
+    if (speedup < floor) {
+      std::fprintf(stderr,
+                   "FAIL: speedup regressed >20%% vs %s (%.2fx < %.2fx)\n",
+                   baseline_path.c_str(), speedup, floor);
+      return 1;
+    }
+    std::printf("perf smoke: PASS\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace philly
+
+int main(int argc, char** argv) { return philly::Main(argc, argv); }

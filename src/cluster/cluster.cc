@@ -29,6 +29,25 @@ bool ParsePlacementInt(std::string_view s, int64_t* out) {
   return result.ec == std::errc() && result.ptr == s.data() + s.size();
 }
 
+// Ordered-set operations on the flat sorted vectors the free-capacity index
+// is built from (ServerBucket, rack_order_).
+template <typename T>
+void SortedInsert(std::vector<T>& v, const T& x) {
+  v.insert(std::lower_bound(v.begin(), v.end(), x), x);
+}
+
+template <typename T>
+void SortedErase(std::vector<T>& v, const T& x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  assert(it != v.end() && *it == x);
+  v.erase(it);
+}
+
+template <typename T>
+bool SortedContains(const std::vector<T>& v, const T& x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
 }  // namespace
 
 std::string EncodePlacement(const Placement& placement) {
@@ -149,7 +168,7 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
       rack_max_capacity_[r] = std::max(rack_max_capacity_[r], server_capacity_[s]);
     }
     rack_buckets_[r].resize(static_cast<size_t>(rack_max_capacity_[r]) + 1);
-    rack_order_.insert({rack_free_[r], r});
+    SortedInsert(rack_order_, {rack_free_[r], r});
   }
   group_buckets_.resize(groups_.size());
   for (size_t g = 0; g < groups_.size(); ++g) {
@@ -164,12 +183,12 @@ void Cluster::IndexMoveServer(ServerId s, int old_free, int new_free) {
   auto& rack = rack_buckets_[static_cast<size_t>(server_rack_[s])];
   auto& group = group_buckets_[static_cast<size_t>(server_group_[s])];
   if (old_free >= 0) {
-    rack[static_cast<size_t>(old_free)].erase(s);
-    group[static_cast<size_t>(old_free)].erase(s);
+    SortedErase(rack[static_cast<size_t>(old_free)], s);
+    SortedErase(group[static_cast<size_t>(old_free)], s);
   }
   if (new_free >= 0) {
-    rack[static_cast<size_t>(new_free)].insert(s);
-    group[static_cast<size_t>(new_free)].insert(s);
+    SortedInsert(rack[static_cast<size_t>(new_free)], s);
+    SortedInsert(group[static_cast<size_t>(new_free)], s);
   }
 }
 
@@ -177,8 +196,8 @@ void Cluster::IndexMoveRack(RackId r, int old_free, int new_free) {
   if (old_free == new_free) {
     return;
   }
-  rack_order_.erase({old_free, r});
-  rack_order_.insert({new_free, r});
+  SortedErase(rack_order_, {old_free, r});
+  SortedInsert(rack_order_, {new_free, r});
 }
 
 void Cluster::IndexSelfCheck(ServerId s) const {
@@ -197,13 +216,13 @@ void Cluster::IndexSelfCheck(ServerId s) const {
   const auto& gbucket =
       GroupFreeBucket(server_group_[static_cast<size_t>(s)], free);
   if (server_offline_[s] != 0) {
-    check(bucket.count(s) == 0, "offline server still in rack bucket");
-    check(gbucket.count(s) == 0, "offline server still in group bucket");
+    check(!SortedContains(bucket, s), "offline server still in rack bucket");
+    check(!SortedContains(gbucket, s), "offline server still in group bucket");
   } else {
-    check(bucket.count(s) == 1, "server missing from its rack bucket");
-    check(gbucket.count(s) == 1, "server missing from its group bucket");
+    check(SortedContains(bucket, s), "server missing from its rack bucket");
+    check(SortedContains(gbucket, s), "server missing from its group bucket");
   }
-  check(rack_order_.count({rack_free_[r], r}) == 1, "rack rank stale");
+  check(SortedContains(rack_order_, {rack_free_[r], r}), "rack rank stale");
 #else
   (void)s;
 #endif
@@ -244,10 +263,14 @@ bool Cluster::Allocate(JobId job, const Placement& placement) {
     IndexSelfCheck(shard.server);
   }
   auto shards = placement.shards;
-  std::sort(shards.begin(), shards.end(),
-            [](const PlacementShard& a, const PlacementShard& b) {
-              return a.server < b.server;
-            });
+  const auto by_server = [](const PlacementShard& a, const PlacementShard& b) {
+    return a.server < b.server;
+  };
+  // Placers emit shards in server-id order for most shapes; skip the sort
+  // when they did.
+  if (!std::is_sorted(shards.begin(), shards.end(), by_server)) {
+    std::sort(shards.begin(), shards.end(), by_server);
+  }
   job_shards_.emplace(job, std::move(shards));
   return true;
 }
@@ -379,9 +402,10 @@ bool Cluster::DebugCheckIndex(std::string* error) const {
       return fail("server " + std::to_string(s) + " has impossible free count " +
                   std::to_string(free));
     }
+    // Ascending server-id iteration keeps the rebuilt buckets sorted.
     want_rack[static_cast<size_t>(server_rack_[s])][static_cast<size_t>(free)]
-        .insert(s);
-    want_group[static_cast<size_t>(g)][static_cast<size_t>(free)].insert(s);
+        .push_back(s);
+    want_group[static_cast<size_t>(g)][static_cast<size_t>(free)].push_back(s);
   }
   if (want_max_cap != max_server_capacity_) {
     return fail("stale max server capacity");
@@ -416,10 +440,12 @@ bool Cluster::DebugCheckIndex(std::string* error) const {
       }
     }
   }
-  std::set<RackRank> want_order;
+  std::vector<RackRank> want_order;
+  want_order.reserve(rack_servers_.size());
   for (RackId r = 0; r < NumRacks(); ++r) {
-    want_order.insert({rack_free_[r], r});
+    want_order.push_back({rack_free_[r], r});
   }
+  std::sort(want_order.begin(), want_order.end());
   if (want_order != rack_order_) {
     return fail("ranked rack order diverges from rescan");
   }

@@ -13,7 +13,6 @@
 #define SRC_CLUSTER_CLUSTER_H_
 
 #include <cstdint>
-#include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -163,8 +162,12 @@ class Cluster {
     ServerId last = 0;  // inclusive
     int capacity = 0;
   };
-  // Online servers with one exact free-GPU count, ascending id.
-  using ServerBucket = std::set<ServerId>;
+  // Online servers with one exact free-GPU count, ascending id. A flat sorted
+  // vector, not a std::set: buckets hold at most a rack's (or group's) worth
+  // of servers, and every Allocate/Release moves servers between buckets —
+  // memmove on a short contiguous array beats per-move red-black node churn,
+  // and iteration order (ascending id) is identical.
+  using ServerBucket = std::vector<ServerId>;
 
   int MaxServerCapacity() const { return max_server_capacity_; }
   // Largest single-server capacity in rack r (static; offline-independent).
@@ -182,8 +185,9 @@ class Cluster {
     return rack_buckets_[static_cast<size_t>(r)][static_cast<size_t>(free)];
   }
   // All racks ordered by (free GPUs descending, id ascending), kept current
-  // across allocations, releases, and offline transitions.
-  const std::set<RackRank>& RankedRackIndex() const { return rack_order_; }
+  // across allocations, releases, and offline transitions. Flat sorted vector
+  // for the same reason as ServerBucket (tens of racks, re-keyed per shard).
+  const std::vector<RackRank>& RankedRackIndex() const { return rack_order_; }
 
   // Full-rescan validation of the index against the ground-truth per-server
   // state. Returns true when every bucket, group, and rack-rank entry matches
@@ -225,7 +229,7 @@ class Cluster {
   std::vector<int> rack_max_capacity_;
   std::vector<std::vector<ServerBucket>> rack_buckets_;   // [rack][free]
   std::vector<std::vector<ServerBucket>> group_buckets_;  // [group][free]
-  std::set<RackRank> rack_order_;
+  std::vector<RackRank> rack_order_;
 };
 
 }  // namespace philly

@@ -1,0 +1,48 @@
+// Non-owning callable reference (the C++26 std::function_ref shape).
+//
+// Hot paths that accept a caller-provided callback — the utilization model's
+// co-tenant resolver, the telemetry sampler's sink — previously took
+// const std::function&, which forces callers to materialize a type-erased
+// std::function per call (allocation for large captures, virtual dispatch
+// always). FunctionRef erases through two raw words instead: a pointer to the
+// caller's callable and a call thunk. It never owns or copies the callable,
+// so it is only valid while the referenced callable is alive — fine for
+// plain down-the-stack callback parameters, wrong for anything stored.
+
+#ifndef SRC_COMMON_FUNCTION_REF_H_
+#define SRC_COMMON_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace philly {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, const std::remove_cvref_t<F>&, Args...>>>
+  FunctionRef(const F& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<const std::remove_cvref_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace philly
+
+#endif  // SRC_COMMON_FUNCTION_REF_H_

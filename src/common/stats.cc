@@ -6,18 +6,6 @@
 
 namespace philly {
 
-void RunningStats::Add(double x, double weight) {
-  if (weight <= 0.0) {
-    return;
-  }
-  count_ += weight;
-  const double delta = x - mean_;
-  mean_ += delta * weight / count_;
-  m2_ += weight * delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
 void RunningStats::Merge(const RunningStats& other) {
   if (other.count_ <= 0.0) {
     return;
@@ -50,34 +38,12 @@ StreamingHistogram::StreamingHistogram(double lo, double hi, size_t bins, Scale 
   }
 }
 
-size_t StreamingHistogram::BinIndex(double x) const {
-  double frac = 0.0;
-  if (scale_ == Scale::kLinear) {
-    frac = (x - lo_) / (hi_ - lo_);
-  } else {
-    frac = x <= 0.0 ? -1.0 : (std::log(x) - log_lo_) / (log_hi_ - log_lo_);
-  }
-  if (frac <= 0.0) {
-    return 0;
-  }
-  const auto idx = static_cast<size_t>(frac * static_cast<double>(counts_.size()));
-  return std::min(idx, counts_.size() - 1);
-}
-
 double StreamingHistogram::BinLowerEdge(size_t i) const {
   const double frac = static_cast<double>(i) / static_cast<double>(counts_.size());
   if (scale_ == Scale::kLinear) {
     return lo_ + frac * (hi_ - lo_);
   }
   return std::exp(log_lo_ + frac * (log_hi_ - log_lo_));
-}
-
-void StreamingHistogram::Add(double x, double weight) {
-  if (weight <= 0.0) {
-    return;
-  }
-  counts_[BinIndex(x)] += weight;
-  stats_.Add(x, weight);
 }
 
 void StreamingHistogram::Merge(const StreamingHistogram& other) {
@@ -98,8 +64,16 @@ double StreamingHistogram::Quantile(double p) const {
   const double target = p * total;
   double cum = 0.0;
   for (size_t i = 0; i < counts_.size(); ++i) {
-    if (cum + counts_[i] >= target) {
-      const double within = counts_[i] > 0.0 ? (target - cum) / counts_[i] : 0.0;
+    // Empty bins hold no mass and must never be the answer. The trigger is
+    // strict (>) so a target landing exactly on a cumulative boundary
+    // resolves to the lower edge of the next *populated* bin (within == 0)
+    // instead of the shared edge of the bin before it — which, when empty
+    // bins separate the two, is the lower edge of a bin holding nothing.
+    if (counts_[i] <= 0.0) {
+      continue;
+    }
+    if (cum + counts_[i] > target) {
+      const double within = (target - cum) / counts_[i];
       const double lo = BinLowerEdge(i);
       const double hi = BinUpperEdge(i);
       // Clamp the interpolated value into the truly observed range so that
@@ -162,18 +136,41 @@ Summary Summarize(const StreamingHistogram& h) {
   return s;
 }
 
-double Percentile(std::span<const double> samples, double p) {
-  if (samples.empty()) {
-    return 0.0;
-  }
-  std::vector<double> sorted(samples.begin(), samples.end());
-  std::sort(sorted.begin(), sorted.end());
+namespace {
+
+// Shared interpolation kernel so Percentile and Percentiles cannot drift.
+double InterpolateSorted(const std::vector<double>& sorted, double p) {
   p = std::clamp(p, 0.0, 1.0);
   const double pos = p * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<size_t>(pos);
   const size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double Percentile(std::span<const double> samples, double p) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return InterpolateSorted(sorted, p);
+}
+
+std::vector<double> Percentiles(std::span<const double> samples,
+                                std::span<const double> ps) {
+  std::vector<double> out(ps.size(), 0.0);
+  if (samples.empty()) {
+    return out;
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    out[i] = InterpolateSorted(sorted, ps[i]);
+  }
+  return out;
 }
 
 Reservoir::Reservoir(size_t capacity, uint64_t seed)

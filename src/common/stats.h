@@ -8,6 +8,7 @@
 #ifndef SRC_COMMON_STATS_H_
 #define SRC_COMMON_STATS_H_
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -18,9 +19,21 @@
 namespace philly {
 
 // Welford mean/variance plus min/max, with optional observation weights.
+// Add is defined inline: it sits in the innermost loop of the telemetry
+// analyses (tens of millions of per-minute observations per run).
 class RunningStats {
  public:
-  void Add(double x, double weight = 1.0);
+  void Add(double x, double weight = 1.0) {
+    if (weight <= 0.0) {
+      return;
+    }
+    count_ += weight;
+    const double delta = x - mean_;
+    mean_ += delta * weight / count_;
+    m2_ += weight * delta * (x - mean_);
+    min_ = x < min_ ? x : min_;
+    max_ = x > max_ ? x : max_;
+  }
 
   // Merges another accumulator into this one.
   void Merge(const RunningStats& other);
@@ -53,7 +66,15 @@ class StreamingHistogram {
   // first/last bin (and tracked exactly by RunningStats for mean/min/max).
   StreamingHistogram(double lo, double hi, size_t bins, Scale scale = Scale::kLinear);
 
-  void Add(double x, double weight = 1.0);
+  // Inline for the same reason as RunningStats::Add: this is the telemetry
+  // analyses' per-observation sink.
+  void Add(double x, double weight = 1.0) {
+    if (weight <= 0.0) {
+      return;
+    }
+    counts_[BinIndex(x)] += weight;
+    stats_.Add(x, weight);
+  }
   void Merge(const StreamingHistogram& other);
 
   double Count() const { return stats_.Count(); }
@@ -83,7 +104,19 @@ class StreamingHistogram {
   double BinUpperEdge(size_t i) const { return BinLowerEdge(i + 1); }
 
  private:
-  size_t BinIndex(double x) const;
+  size_t BinIndex(double x) const {
+    double frac = 0.0;
+    if (scale_ == Scale::kLinear) {
+      frac = (x - lo_) / (hi_ - lo_);
+    } else {
+      frac = x <= 0.0 ? -1.0 : (std::log(x) - log_lo_) / (log_hi_ - log_lo_);
+    }
+    if (frac <= 0.0) {
+      return 0;
+    }
+    const auto idx = static_cast<size_t>(frac * static_cast<double>(counts_.size()));
+    return idx < counts_.size() - 1 ? idx : counts_.size() - 1;
+  }
 
   double lo_;
   double hi_;
@@ -112,6 +145,13 @@ Summary Summarize(const StreamingHistogram& h);
 // small populations such as per-job aggregates). `p` in [0, 1]; linear
 // interpolation between order statistics.
 double Percentile(std::span<const double> samples, double p);
+
+// Exact percentiles of an explicit sample vector, sorting the copy ONCE and
+// evaluating every requested quantile against the same order statistics.
+// Element i of the result equals Percentile(samples, ps[i]) bit-for-bit; use
+// this whenever more than one quantile of the same population is needed.
+std::vector<double> Percentiles(std::span<const double> samples,
+                                std::span<const double> ps);
 
 // Weighted reservoir of bounded size: keeps a uniform random subset of a
 // stream (A-Res algorithm degenerates to uniform for equal weights). Used to

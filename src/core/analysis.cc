@@ -571,9 +571,11 @@ FailureAnalysisResult AnalyzeFailures(const std::vector<JobRecord>& jobs) {
     row.jobs = static_cast<int64_t>(a.job_ids.size());
     row.users = static_cast<int64_t>(a.user_ids.size());
     if (!a.rtfs.empty()) {
-      row.rtf_p50_min = Percentile(a.rtfs, 0.50);
-      row.rtf_p90_min = Percentile(a.rtfs, 0.90);
-      row.rtf_p95_min = Percentile(a.rtfs, 0.95);
+      constexpr double kRtfQuantiles[] = {0.50, 0.90, 0.95};
+      const std::vector<double> q = Percentiles(a.rtfs, kRtfQuantiles);
+      row.rtf_p50_min = q[0];
+      row.rtf_p90_min = q[1];
+      row.rtf_p95_min = q[2];
     }
     row.rtf_total_share = rtf_total > 0 ? a.rtf_sum / rtf_total : 0.0;
     row.rtf_x_demand_share =

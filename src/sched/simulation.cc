@@ -2,7 +2,6 @@
 
 #include <cassert>
 #include <cmath>
-#include <unordered_set>
 
 #include "src/workload/model_zoo.h"
 
@@ -32,6 +31,7 @@ FailureReason ReasonForFault(FaultKind kind) {
 
 ClusterSimulation::ClusterSimulation(SimulationConfig config, std::vector<JobSpec> jobs)
     : config_(std::move(config)),
+      sim_(config_.engine),
       cluster_(config_.cluster),
       placer_(config_.scheduler.placer),
       defrag_placer_([&] {
@@ -87,6 +87,11 @@ ClusterSimulation::ClusterSimulation(SimulationConfig config, std::vector<JobSpe
   }
 
   jobs_.reserve(jobs.size());
+  JobId max_id = 0;
+  for (const auto& spec : jobs) {
+    max_id = std::max(max_id, spec.id);
+  }
+  job_index_.assign(static_cast<size_t>(max_id) + 1, SIZE_MAX);
   for (auto& spec : jobs) {
     assert(spec.vc >= 0 && static_cast<size_t>(spec.vc) < vcs_.size());
     JobState state;
@@ -94,7 +99,9 @@ ClusterSimulation::ClusterSimulation(SimulationConfig config, std::vector<JobSpe
     state.plan = injector_.PlanFor(spec);
     state.record.spec = spec;
     state.queue_key = static_cast<double>(spec.submit_time);
-    job_index_.emplace(spec.id, jobs_.size());
+    state.comm_intensity = ProfileOf(spec.model).comm_intensity;
+    assert(job_index_[static_cast<size_t>(spec.id)] == SIZE_MAX);
+    job_index_[static_cast<size_t>(spec.id)] = jobs_.size();
     jobs_.push_back(std::move(state));
   }
 
@@ -143,9 +150,10 @@ void ClusterSimulation::RecordEvalFailure(DelayCause cause) {
 }
 
 ClusterSimulation::JobState& ClusterSimulation::StateOf(JobId id) {
-  const auto it = job_index_.find(id);
-  assert(it != job_index_.end());
-  return jobs_[it->second];
+  assert(id >= 0 && static_cast<size_t>(id) < job_index_.size());
+  const size_t index = job_index_[static_cast<size_t>(id)];
+  assert(index != SIZE_MAX);
+  return jobs_[index];
 }
 
 SimulationResult ClusterSimulation::Run() {
@@ -253,7 +261,7 @@ void ClusterSimulation::OnArrival(JobId id) {
   job.last_eval_time = -1;
   job.last_cause = DelayCause::kNone;
   job.relax_emitted = 0;
-  VcOf(job).queue.push_back(id);
+  EnqueueSorted(job);
   EmitEvent(SchedEventKind::kQueued, &job);
   RequestSchedulingPass(0);
 }
@@ -354,6 +362,16 @@ void ClusterSimulation::AttributeWaitTime(JobState& job, DelayCause cause) {
   job.last_cause = cause;
 }
 
+void ClusterSimulation::EnqueueSorted(JobState& job) {
+  std::vector<JobId>& q = VcOf(job).queue;
+  const double key = QueueKeyFor(job);
+  const auto pos = std::upper_bound(
+      q.begin(), q.end(), key, [this](double k, JobId other) {
+        return k < QueueKeyFor(StateOf(other));
+      });
+  q.insert(pos, job.spec.id);
+}
+
 double ClusterSimulation::QueueKeyFor(const JobState& job) const {
   switch (config_.scheduler.ordering) {
     case QueueOrdering::kFifoArrival:
@@ -374,7 +392,8 @@ double ClusterSimulation::QueueKeyFor(const JobState& job) const {
 void ClusterSimulation::SchedulingPass() {
   ScopedTimer pass_timer(config_.obs.profiler, "scheduling_pass");
   // Fair share: serve VCs in increasing order of quota usage ratio.
-  std::vector<size_t> vc_order(vcs_.size());
+  std::vector<size_t>& vc_order = pass_vc_order_;
+  vc_order.resize(vcs_.size());
   for (size_t i = 0; i < vcs_.size(); ++i) {
     vc_order[i] = i;
   }
@@ -408,17 +427,19 @@ void ClusterSimulation::SchedulingPass() {
     if (vc.queue.empty()) {
       continue;
     }
-    // Policy ordering for this pass (stable: FIFO ties keep arrival order).
-    std::vector<JobId> order = vc.queue;
-    std::stable_sort(order.begin(), order.end(), [&](JobId a, JobId b) {
-      return QueueKeyFor(StateOf(a)) < QueueKeyFor(StateOf(b));
-    });
+    // The VC queue is maintained in policy order by EnqueueSorted (keys are
+    // constant while a job is queued, ties in insertion order — identical to
+    // the stable sort this pass used to run). Snapshot it into reused scratch
+    // because starting a job erases it from vc.queue mid-iteration.
+    std::vector<JobId>& order = pass_queue_;
+    order.assign(vc.queue.begin(), vc.queue.end());
 
     bool earlier_waiting = false;
     int earlier_min_demand = INT32_MAX;
-    std::vector<JobId> blocked;
+    std::vector<JobId>& blocked = pass_blocked_;
+    blocked.clear();
     int scanned = 0;
-    for (JobId id : order) {
+    for (const JobId id : order) {
       if (++scanned > kMaxQueueScan) {
         any_waiting = true;
         break;
@@ -573,16 +594,17 @@ bool ClusterSimulation::TryStartJob(JobState& job, bool earlier_job_waiting,
 
 bool ClusterSimulation::TryPreemptFor(const JobState& job) {
   // Victims: most recently started attempts of jobs whose VC is over quota.
-  // One preemption action per scheduling evaluation.
+  // One preemption action per scheduling evaluation. The running set is
+  // sorted by id (== jobs_ index order), so iterating it preserves the
+  // original full-scan tie-breaks while skipping queued/done jobs entirely;
+  // prerun pool attempts are not in the set (they hold no cluster GPUs).
   JobId victim = kNoJob;
   SimTime victim_start = -1;
-  for (auto& candidate : jobs_) {
-    if (candidate.phase != Phase::kRunning || candidate.spec.vc == job.spec.vc) {
+  for (const auto& entry : running_jobs_) {
+    JobState& candidate = jobs_[entry.second];
+    assert(candidate.phase == Phase::kRunning);
+    if (candidate.spec.vc == job.spec.vc) {
       continue;
-    }
-    if (!candidate.record.attempts.empty() &&
-        candidate.record.attempts.back().prerun) {
-      continue;  // occupying a pre-run pool slot, not cluster GPUs
     }
     const VcState& cvc = vcs_[static_cast<size_t>(candidate.spec.vc)];
     if (cvc.used_gpus <= cvc.config.quota_gpus) {
@@ -604,15 +626,14 @@ bool ClusterSimulation::TryPrioritySuspendFor(const JobState& job) {
   const double waiter_key = QueueKeyFor(job);
   JobState* victim = nullptr;
   double worst_key = waiter_key;
-  for (auto& candidate : jobs_) {
-    if (candidate.phase != Phase::kRunning ||
-        candidate.kind != AttemptKind::kClean || candidate.kill_at_end) {
+  for (const auto& entry : running_jobs_) {
+    JobState& candidate = jobs_[entry.second];
+    assert(candidate.phase == Phase::kRunning);
+    if (candidate.kind != AttemptKind::kClean || candidate.kill_at_end) {
       continue;
     }
-    const auto& attempt = candidate.record.attempts.back();
-    if (attempt.prerun ||
-        sim_.Now() - candidate.attempt_start <
-            config_.scheduler.priority_preemption_min_run) {
+    if (sim_.Now() - candidate.attempt_start <
+        config_.scheduler.priority_preemption_min_run) {
       continue;
     }
     const double key = QueueKeyFor(candidate);
@@ -664,7 +685,7 @@ void ClusterSimulation::StartAttempt(JobState& job, const Placement& placement) 
   (void)ok;
   job.phase = Phase::kRunning;
   job.attempt_start = now;
-  TelemetryTrackStart(job);
+  RunningSetInsert(job);
 
   // Decide what this attempt is.
   SimDuration duration = 0;
@@ -971,13 +992,13 @@ double ClusterSimulation::ComputeExpectedUtil(const JobState& job,
   } else if (job.kill_at_end) {
     status_factor = 0.85;
   }
-  auto activity_of = [this](JobId id) {
-    const auto it = job_index_.find(id);
-    assert(it != job_index_.end());
-    const JobState& other = jobs_[it->second];
+  const auto activity_of = [this](JobId id) {
+    const size_t index = job_index_[static_cast<size_t>(id)];
+    assert(index != SIZE_MAX);
+    const JobState& other = jobs_[index];
     JobActivity activity;
     activity.base_utilization = other.spec.base_utilization;
-    activity.comm_intensity = ProfileOf(other.spec.model).comm_intensity;
+    activity.comm_intensity = other.comm_intensity;
     activity.num_gpus = other.spec.num_gpus;
     activity.num_servers =
         other.record.attempts.empty()
@@ -1006,11 +1027,16 @@ void ClusterSimulation::CloseSegment(JobState& job) {
 
 void ClusterSimulation::RefreshCotenantSegments(const Placement& placement,
                                                 JobId except) {
-  std::unordered_set<JobId> touched;
+  // Co-tenant sets are tiny (a handful of jobs across <= a few servers), so a
+  // reused flat vector with linear dedup beats a hash set; per-job updates
+  // are independent, so visit order does not affect any output stream.
+  std::vector<JobId>& touched = pass_touched_;
+  touched.clear();
   for (const auto& shard : placement.shards) {
     for (const auto& tenant : cluster_.TenantsOnServer(shard.server)) {
-      if (tenant.job != except) {
-        touched.insert(tenant.job);
+      if (tenant.job != except &&
+          std::find(touched.begin(), touched.end(), tenant.job) == touched.end()) {
+        touched.push_back(tenant.job);
       }
     }
   }
@@ -1028,26 +1054,20 @@ void ClusterSimulation::RefreshCotenantSegments(const Placement& placement,
   }
 }
 
-void ClusterSimulation::TelemetryTrackStart(const JobState& job) {
-  if (config_.obs.timeseries == nullptr) {
-    return;
-  }
+void ClusterSimulation::RunningSetInsert(const JobState& job) {
   const std::pair<JobId, size_t> entry{
       job.spec.id, static_cast<size_t>(&job - jobs_.data())};
-  const auto it = std::lower_bound(telemetry_running_.begin(),
-                                   telemetry_running_.end(), entry);
-  telemetry_running_.insert(it, entry);
+  const auto it = std::lower_bound(running_jobs_.begin(),
+                                   running_jobs_.end(), entry);
+  running_jobs_.insert(it, entry);
 }
 
-void ClusterSimulation::TelemetryTrackStop(const JobState& job) {
-  if (config_.obs.timeseries == nullptr) {
-    return;
-  }
+void ClusterSimulation::RunningSetErase(const JobState& job) {
   const auto it = std::lower_bound(
-      telemetry_running_.begin(), telemetry_running_.end(), job.spec.id,
+      running_jobs_.begin(), running_jobs_.end(), job.spec.id,
       [](const auto& entry, JobId id) { return entry.first < id; });
-  assert(it != telemetry_running_.end() && it->first == job.spec.id);
-  telemetry_running_.erase(it);
+  assert(it != running_jobs_.end() && it->first == job.spec.id);
+  running_jobs_.erase(it);
 }
 
 void ClusterSimulation::TelemetryAdvance(SimTime target) {
@@ -1094,7 +1114,7 @@ void ClusterSimulation::FillTelemetrySample(TelemetrySample& s) {
   double exp_weighted = 0.0;
   double obs_weighted = 0.0;
   int64_t weight = 0;
-  for (const auto& [id, index] : telemetry_running_) {
+  for (const auto& [id, index] : running_jobs_) {
     const JobState& job = jobs_[index];
     const double obs_pct = ts->ObserveUtilPct(
         id, job.record.attempts.back().index, job.segment_util);
@@ -1112,7 +1132,7 @@ void ClusterSimulation::FillTelemetrySample(TelemetrySample& s) {
       telemetry_srv_gpus_[sv] += shard.gpus;
     }
   }
-  s.running_jobs = static_cast<int>(telemetry_running_.size());
+  s.running_jobs = static_cast<int>(running_jobs_.size());
   if (weight > 0) {
     s.util_expected_pct = exp_weighted / static_cast<double>(weight);
     s.util_observed_pct = obs_weighted / static_cast<double>(weight);
@@ -1182,15 +1202,15 @@ void ClusterSimulation::OnAttemptEnd(JobId id) {
                               attempt.placement.NumGpus();
 
   cluster_.Release(id);
-  TelemetryTrackStop(job);
+  RunningSetErase(job);
   VcOf(job).used_gpus -= job.spec.num_gpus;
   RefreshCotenantSegments(attempt.placement, id);
 
   if (job.kind == AttemptKind::kClean) {
     job.clean_executed += AttemptExecuted(job, attempt);
     const SimDuration epoch = std::max<SimDuration>(1, job.spec.EpochDuration());
-    job.record.executed_epochs = static_cast<int>(
-        std::min<int64_t>(job.spec.planned_epochs, job.clean_executed / epoch));
+    SetExecutedEpochs(job, static_cast<int>(std::min<int64_t>(
+                               job.spec.planned_epochs, job.clean_executed / epoch)));
     if (job.kill_at_end) {
       FinishJob(job, JobStatus::kKilled);
     } else if (job.CleanRemaining() <= 0) {
@@ -1297,10 +1317,10 @@ void ClusterSimulation::SuspendAttempt(JobState& job) {
   // time-sliced and migrated jobs otherwise undercount epochs until their
   // next clean attempt completes (OnAttemptEnd and PreemptJob both do this).
   const SimDuration epoch = std::max<SimDuration>(1, job.spec.EpochDuration());
-  job.record.executed_epochs = static_cast<int>(
-      std::min<int64_t>(job.spec.planned_epochs, job.clean_executed / epoch));
+  SetExecutedEpochs(job, static_cast<int>(std::min<int64_t>(
+                             job.spec.planned_epochs, job.clean_executed / epoch)));
   cluster_.Release(job.spec.id);
-  TelemetryTrackStop(job);
+  RunningSetErase(job);
   VcOf(job).used_gpus -= job.spec.num_gpus;
   RefreshCotenantSegments(attempt.placement, job.spec.id);
 }
@@ -1434,13 +1454,14 @@ void ClusterSimulation::PreemptJob(JobState& victim) {
     const SimDuration epoch = std::max<SimDuration>(1, victim.spec.EpochDuration());
     const SimDuration executed = AttemptExecuted(victim, attempt);
     victim.clean_executed += (executed / epoch) * epoch;
-    victim.record.executed_epochs = static_cast<int>(
-        std::min<int64_t>(victim.spec.planned_epochs, victim.clean_executed / epoch));
+    SetExecutedEpochs(victim,
+                      static_cast<int>(std::min<int64_t>(
+                          victim.spec.planned_epochs, victim.clean_executed / epoch)));
   }
   // A preempted failing attempt is restarted later: the trial is not consumed.
 
   cluster_.Release(victim.spec.id);
-  TelemetryTrackStop(victim);
+  RunningSetErase(victim);
   VcOf(victim).used_gpus -= victim.spec.num_gpus;
   RefreshCotenantSegments(attempt.placement, victim.spec.id);
   ++result_.preemptions;
@@ -1466,7 +1487,7 @@ void ClusterSimulation::Requeue(JobState& job) {
   job.last_eval_time = -1;
   job.last_cause = DelayCause::kNone;
   job.relax_emitted = 0;
-  VcOf(job).queue.push_back(job.spec.id);
+  EnqueueSorted(job);
   if (SchedEvent* e = EmitEvent(SchedEventKind::kRequeue, &job); e != nullptr) {
     if (!job.record.attempts.empty()) {
       const AttemptRecord& attempt = job.record.attempts.back();
@@ -1653,8 +1674,8 @@ void ClusterSimulation::KillAttemptForFault(JobState& job, FailureReason reason,
            gpus;
     job.clean_executed = job.ckpt_durable;
     const SimDuration epoch = std::max<SimDuration>(1, job.spec.EpochDuration());
-    job.record.executed_epochs = static_cast<int>(
-        std::min<int64_t>(job.spec.planned_epochs, job.clean_executed / epoch));
+    SetExecutedEpochs(job, static_cast<int>(std::min<int64_t>(
+                               job.spec.planned_epochs, job.clean_executed / epoch)));
   } else if (job.kind == AttemptKind::kClean) {
     lost = static_cast<double>(now - fault_clamped) * gpus;
     const SimDuration produced =
@@ -1664,8 +1685,8 @@ void ClusterSimulation::KillAttemptForFault(JobState& job, FailureReason reason,
     lost += static_cast<double>(produced - resumed) * gpus;
     job.clean_executed = resumed;
     const SimDuration epoch = std::max<SimDuration>(1, job.spec.EpochDuration());
-    job.record.executed_epochs = static_cast<int>(
-        std::min<int64_t>(job.spec.planned_epochs, job.clean_executed / epoch));
+    SetExecutedEpochs(job, static_cast<int>(std::min<int64_t>(
+                               job.spec.planned_epochs, job.clean_executed / epoch)));
   } else {
     lost = static_cast<double>(now - fault_clamped) * gpus;
     // The trial is not consumed, but checkpoints still bound the loss: a
@@ -1697,7 +1718,7 @@ void ClusterSimulation::KillAttemptForFault(JobState& job, FailureReason reason,
   }
 
   cluster_.Release(job.spec.id);
-  TelemetryTrackStop(job);
+  RunningSetErase(job);
   VcOf(job).used_gpus -= job.spec.num_gpus;
   RefreshCotenantSegments(attempt.placement, job.spec.id);
   // Machine faults are the cluster's fault, not the job's: no retry-policy
@@ -1712,8 +1733,15 @@ void ClusterSimulation::TakeSnapshot() {
   snap.occupancy = cluster_.Occupancy();
   snap.empty_server_fraction = cluster_.EmptyServerFraction();
   snap.racks_with_empty_servers = cluster_.RacksWithEmptyServers();
-  for (const auto& job : jobs_) {
-    snap.executed_epochs_total += job.record.executed_epochs;
+  if (config_.legacy_snapshot_scan) {
+    // Pre-PR behavior, kept selectable for the bench baseline: O(jobs) per
+    // snapshot, which dominates long traces (456 snapshots x all jobs at the
+    // 75-day scale was the single largest profiler slice).
+    for (const auto& job : jobs_) {
+      snap.executed_epochs_total += job.record.executed_epochs;
+    }
+  } else {
+    snap.executed_epochs_total = executed_epochs_total_;
   }
   snap.offline_servers = cluster_.NumOfflineServers();
   snap.machine_fault_kills_total = result_.machine_fault_kills;

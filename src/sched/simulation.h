@@ -21,7 +21,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -57,6 +56,12 @@ struct SimulationConfig {
   std::vector<VcConfig> vcs;
   uint64_t seed = 42;
   SimDuration snapshot_period = Hours(6);
+  // Core-engine selection for A/B benchmarking and differential tests. The
+  // legacy heap event queue plus the O(jobs)-per-snapshot epoch scan
+  // reproduce the pre-calendar core exactly; bench/end_to_end flips both to
+  // measure the in-process old-vs-new ratio on identical output streams.
+  SimEngine engine = SimEngine::kCalendar;
+  bool legacy_snapshot_scan = false;
   // Optional observability sinks (non-owning; all null by default). Sinks
   // observe scheduler decisions without influencing them: a run with sinks
   // attached produces byte-identical records to a run without.
@@ -80,6 +85,9 @@ class ClusterSimulation {
     JobRecord record;
 
     Phase phase = Phase::kPending;
+    // Model-zoo communication intensity, resolved once at construction so
+    // the co-tenant utilization join never re-hits the string-keyed zoo.
+    double comm_intensity = 0.0;
     // Queueing state.
     SimTime ready_time = 0;
     WaitRecord wait;
@@ -206,6 +214,12 @@ class ClusterSimulation {
   // (used by time-slicing and migration).
   void SuspendAttempt(JobState& job);
   double QueueKeyFor(const JobState& job) const;
+  // Inserts the job into its VC queue at its scheduling-key position (after
+  // all equal keys). Every policy's key is constant while a job is queued, so
+  // the queue stays sorted without the per-pass rebuild-and-stable-sort the
+  // scheduler used to do; ties land in insertion order, exactly where the
+  // stable sort put them.
+  void EnqueueSorted(JobState& job);
 
   // --- telemetry segments ---
   double ComputeExpectedUtil(const JobState& job, const Placement& placement) const;
@@ -218,11 +232,20 @@ class ClusterSimulation {
   // time-advance hook so sampling adds zero simulator events.
   void TelemetryAdvance(SimTime target);
   void FillTelemetrySample(TelemetrySample& sample);
-  void TelemetryTrackStart(const JobState& job);
-  void TelemetryTrackStop(const JobState& job);
 
   JobState& StateOf(JobId id);
   VcState& VcOf(const JobState& job) { return vcs_[static_cast<size_t>(job.spec.vc)]; }
+
+  // Single write path for record.executed_epochs: keeps the cluster-wide
+  // running total in sync so TakeSnapshot never rescans all jobs.
+  void SetExecutedEpochs(JobState& job, int epochs) {
+    executed_epochs_total_ += epochs - job.record.executed_epochs;
+    job.record.executed_epochs = epochs;
+  }
+  // Adds/removes the job from the sorted running set (all cluster-GPU-holding
+  // jobs; prerun pool attempts excluded).
+  void RunningSetInsert(const JobState& job);
+  void RunningSetErase(const JobState& job);
 
   // --- observability (no-ops when the corresponding sink is null) ---
   // Appends an event pre-filled with the job's identity fields; returns null
@@ -251,8 +274,10 @@ class ClusterSimulation {
   std::vector<std::vector<JobId>> ckpt_wait_queue_;  // stagger FIFO deferrals
   std::vector<int> ckpt_stagger_slot_;            // next phase slot per rack
 
-  std::vector<JobState> jobs_;                    // dense storage
-  std::unordered_map<JobId, size_t> job_index_;   // id -> index
+  std::vector<JobState> jobs_;   // dense storage
+  // Flat id -> jobs_ index map (ids are dense and small, so this is a plain
+  // vector lookup on the hottest path in the scheduler); SIZE_MAX = no job.
+  std::vector<size_t> job_index_;
   std::vector<VcState> vcs_;
   SimulationResult result_;
   bool pass_pending_ = false;
@@ -262,11 +287,21 @@ class ClusterSimulation {
   SimTime last_preemption_time_ = -(1 << 30);
   int prerun_in_use_ = 0;
   int jobs_done_ = 0;
-  // Jobs holding cluster GPUs right now, sorted by id, paired with their
-  // jobs_ index so the per-minute sampler skips the id hash lookup.
-  // Maintained only when the timeseries sink is attached (prerun attempts
-  // hold no cluster GPUs and are excluded).
-  std::vector<std::pair<JobId, size_t>> telemetry_running_;
+  // Cluster-wide executed-epochs total, maintained incrementally through
+  // SetExecutedEpochs (TakeSnapshot reads it in O(1)).
+  int64_t executed_epochs_total_ = 0;
+  // Jobs holding cluster GPUs right now, sorted by id (== jobs_ index order),
+  // paired with their jobs_ index. The per-minute sampler iterates it for the
+  // utilization join, and the preemption/priority-suspension victim scans use
+  // it instead of walking every job in the trace. Prerun attempts hold pool
+  // slots, not cluster GPUs, and are excluded.
+  std::vector<std::pair<JobId, size_t>> running_jobs_;
+  // Per-pass scratch, reserved once and reused so a scheduling pass performs
+  // no allocations in steady state.
+  std::vector<size_t> pass_vc_order_;
+  std::vector<JobId> pass_queue_;  // snapshot of one VC's (sorted) queue
+  std::vector<JobId> pass_blocked_;
+  std::vector<JobId> pass_touched_;  // co-tenant refresh scratch
   // Per-server scratch for the sampler's utilization join, sized NumServers
   // and zeroed between samples via telemetry_touched_ (so a sample costs
   // O(running jobs + busy servers), not O(cluster servers)).

@@ -1,0 +1,121 @@
+// Small-buffer event callback for the discrete-event engine.
+//
+// The simulator schedules hundreds of thousands of events per simulated
+// month, almost all of which capture a `this` pointer plus a job id or a
+// small POD. std::function's type-erasure works, but its 16-byte inline
+// buffer forces a heap allocation for anything larger, and its copyability
+// requirement drags in a copy-constructor thunk per lambda. InlineCallback is
+// the minimal move-only alternative: a 48-byte inline buffer stores every
+// scheduler lambda in-place (measured: the largest hot-path capture is
+// {this, FaultEvent} at 40 bytes), and rare larger captures (fault detection
+// with a marked-server vector) fall back to a single heap cell.
+
+#ifndef SRC_SIM_CALLBACK_H_
+#define SRC_SIM_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace philly {
+
+class InlineCallback {
+ public:
+  InlineCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // Destroys the stored callable (freeing any heap cell) and becomes empty.
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  static constexpr size_t kInlineSize = 48;
+
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs the callable at `dst` from `src`'s storage and destroys
+    // the source (heap callables just steal the pointer).
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); }
+    static void Relocate(void* dst, void* src) noexcept {
+      Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* s) noexcept {
+      std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+    }
+    static constexpr Ops ops{Invoke, Relocate, Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& Cell(void* s) { return *reinterpret_cast<Fn**>(s); }
+    static void Invoke(void* s) { (*Cell(s))(); }
+    static void Relocate(void* dst, void* src) noexcept {
+      *reinterpret_cast<Fn**>(dst) = Cell(src);
+    }
+    static void Destroy(void* s) noexcept { delete Cell(s); }
+    static constexpr Ops ops{Invoke, Relocate, Destroy};
+  };
+
+  void MoveFrom(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace philly
+
+#endif  // SRC_SIM_CALLBACK_H_

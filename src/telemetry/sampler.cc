@@ -1,53 +1,7 @@
 #include "src/telemetry/sampler.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "src/common/distributions.h"
-
 namespace philly {
-namespace {
-
-uint64_t Mix64(uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ull;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBull;
-  x ^= x >> 31;
-  return x;
-}
-
-double HashedNormal(uint64_t seed, uint64_t index) {
-  const uint64_t h = Mix64(seed ^ (index * 0x9E3779B97F4A7C15ull));
-  const double u = (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
-  return Probit(u);
-}
-
-}  // namespace
 
 GangliaSampler::GangliaSampler(SamplerConfig config) : config_(config) {}
-
-void GangliaSampler::SampleSegment(
-    double expected_util, SimDuration duration, uint64_t seed,
-    const std::function<void(double value, double weight)>& sink) const {
-  if (duration <= 0) {
-    return;
-  }
-  const double total_minutes = std::max(1.0, ToMinutes(duration));
-  const int samples = static_cast<int>(std::min<double>(
-      config_.max_samples_per_segment, std::ceil(total_minutes)));
-  const double weight = total_minutes / samples;
-
-  // AR(1) around the expected level, stationary: x_t = rho*x_{t-1} + e_t with
-  // e ~ N(0, sigma*sqrt(1-rho^2)) so the marginal stddev is jitter_sigma.
-  const double rho = config_.ar1_rho;
-  const double innovation_sigma = config_.jitter_sigma * std::sqrt(1.0 - rho * rho);
-  double x = config_.jitter_sigma * HashedNormal(seed, 0);
-  for (int i = 0; i < samples; ++i) {
-    const double value = std::clamp(expected_util + x, 0.0, 1.0);
-    sink(value * 100.0, weight);  // Ganglia reports percent
-    x = rho * x + innovation_sigma * HashedNormal(seed, static_cast<uint64_t>(i) + 1);
-  }
-}
 
 }  // namespace philly

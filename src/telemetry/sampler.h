@@ -13,9 +13,11 @@
 #ifndef SRC_TELEMETRY_SAMPLER_H_
 #define SRC_TELEMETRY_SAMPLER_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
-#include <functional>
 
+#include "src/common/distributions.h"
 #include "src/common/sim_time.h"
 
 namespace philly {
@@ -27,6 +29,25 @@ struct SamplerConfig {
   int max_samples_per_segment = 64;
 };
 
+namespace sampler_internal {
+
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+inline double HashedNormal(uint64_t seed, uint64_t index) {
+  const uint64_t h = Mix64(seed ^ (index * 0x9E3779B97F4A7C15ull));
+  const double u = (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
+  return Probit(u);
+}
+
+}  // namespace sampler_internal
+
 class GangliaSampler {
  public:
   explicit GangliaSampler(SamplerConfig config = {});
@@ -35,9 +56,35 @@ class GangliaSampler {
   // utilization `expected_util` lasting `duration`. `sink(value, weight)` is
   // called with weight = number of GPU-minutes the observation represents
   // (per GPU; multiply by the job's GPU count at the call site if needed).
-  // Deterministic given `seed`.
+  // Deterministic given `seed`. Templated over the sink so the hottest inner
+  // loop of analysis (millions of per-segment observations) inlines the sink
+  // instead of dispatching through a std::function per observation.
+  template <typename Sink>
   void SampleSegment(double expected_util, SimDuration duration, uint64_t seed,
-                     const std::function<void(double value, double weight)>& sink) const;
+                     const Sink& sink) const {
+    if (duration <= 0) {
+      return;
+    }
+    const double total_minutes = std::max(1.0, ToMinutes(duration));
+    const int samples = static_cast<int>(std::min<double>(
+        config_.max_samples_per_segment, std::ceil(total_minutes)));
+    const double weight = total_minutes / samples;
+
+    // AR(1) around the expected level, stationary: x_t = rho*x_{t-1} + e_t
+    // with e ~ N(0, sigma*sqrt(1-rho^2)) so the marginal stddev is
+    // jitter_sigma.
+    const double rho = config_.ar1_rho;
+    const double innovation_sigma =
+        config_.jitter_sigma * std::sqrt(1.0 - rho * rho);
+    double x = config_.jitter_sigma * sampler_internal::HashedNormal(seed, 0);
+    for (int i = 0; i < samples; ++i) {
+      const double value = std::clamp(expected_util + x, 0.0, 1.0);
+      sink(value * 100.0, weight);  // Ganglia reports percent
+      x = rho * x + innovation_sigma *
+                        sampler_internal::HashedNormal(
+                            seed, static_cast<uint64_t>(i) + 1);
+    }
+  }
 
   const SamplerConfig& config() const { return config_; }
 

@@ -53,7 +53,7 @@ double UtilizationModel::NeighborLoadShare(const JobActivity& cotenant,
 
 double UtilizationModel::ExpectedUtilization(
     const JobSpec& job, const Placement& placement, const Cluster& cluster,
-    const std::function<JobActivity(JobId)>& activity_of) const {
+    FunctionRef<JobActivity(JobId)> activity_of) const {
   if (placement.Empty()) {
     return 0.0;
   }

@@ -24,10 +24,10 @@
 #ifndef SRC_TELEMETRY_UTIL_MODEL_H_
 #define SRC_TELEMETRY_UTIL_MODEL_H_
 
-#include <functional>
 #include <span>
 
 #include "src/cluster/cluster.h"
+#include "src/common/function_ref.h"
 #include "src/workload/job.h"
 
 namespace philly {
@@ -91,10 +91,12 @@ class UtilizationModel {
                            int server_capacity) const;
 
   // Expected utilization (weighted by shard size) of `job` placed as
-  // `placement` on `cluster`; `activity_of` resolves co-tenant jobs.
+  // `placement` on `cluster`; `activity_of` resolves co-tenant jobs. The
+  // resolver is taken by non-owning reference (this is the hottest call in a
+  // scheduling-heavy run: one invocation per co-tenant per refresh).
   double ExpectedUtilization(const JobSpec& job, const Placement& placement,
                              const Cluster& cluster,
-                             const std::function<JobActivity(JobId)>& activity_of) const;
+                             FunctionRef<JobActivity(JobId)> activity_of) const;
 
   // Training throughput (images/s across the whole job) for image models, 0
   // for models without a throughput conversion; reproduces Table 4 row 2.

@@ -180,6 +180,46 @@ TEST(PercentileTest, InterpolatesBetweenValues) {
   EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 5.0);
 }
 
+// The sort-once multi-quantile helper must agree with the one-at-a-time
+// Percentile bit-for-bit, including unsorted input, repeated values, clamped
+// p, and out-of-order quantile requests (AnalyzeRtf regression).
+TEST(PercentilesTest, MatchesSingleQuantileCallsExactly) {
+  const std::vector<double> xs = {5.0, 1.0,  3.0, 2.0,  4.0, 4.0,
+                                  0.1, 99.5, 2.7, -3.0, 2.7, 8.25};
+  const std::vector<double> ps = {0.95, 0.0, 0.5, 0.9, 1.0, 0.25, -0.5, 1.5};
+  const std::vector<double> got = Percentiles(xs, ps);
+  ASSERT_EQ(got.size(), ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(got[i], Percentile(xs, ps[i])) << "p=" << ps[i];
+  }
+}
+
+TEST(PercentilesTest, EmptySamplesYieldZeros) {
+  const std::vector<double> ps = {0.5, 0.9};
+  const std::vector<double> got = Percentiles({}, ps);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_DOUBLE_EQ(got[0], 0.0);
+  EXPECT_DOUBLE_EQ(got[1], 0.0);
+}
+
+// Pre-fix-failing regression: with mass {2.0 in bin0, 2.0 in bin5} and
+// p = 0.5, the cumulative target (2.0) lands exactly on the running sum after
+// bin 0, so the old `cum + counts_[i] >= target` scan stopped at the *empty*
+// bin 1 and returned its lower edge (1.0). The quantile of the observed mass
+// is the lower edge of the next populated bin.
+TEST(StreamingHistogramTest, QuantileSkipsEmptyBinsOnExactBoundary) {
+  StreamingHistogram h(0.0, 10.0, 10);
+  h.Add(0.5, 2.0);  // bin 0
+  h.Add(5.5, 2.0);  // bin 5
+  const double q = h.Quantile(0.5);
+  // Old behavior: 1.0 (lower edge of empty bin 1). Fixed: lower edge of the
+  // populated bin 5, clamped into [min, max] = [0.5, 5.5].
+  EXPECT_DOUBLE_EQ(q, 5.0);
+  // And a boundary landing inside a populated bin is untouched.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 5.5);
+}
+
 TEST(ReservoirTest, KeepsAllWhenUnderCapacity) {
   Reservoir r(10);
   for (int i = 0; i < 5; ++i) {
