@@ -1,0 +1,220 @@
+// Fleet router policy comparison: pinned homing vs least-loaded vs spillover
+// on a four-cluster fleet with imbalanced per-cluster demand.
+//
+// The operating point models the fleet reality ROADMAP item 2 cites from the
+// Helios characterization: several coordinated clusters whose tenant demand
+// is NOT proportional to their capacity. Each cluster's arrival process is
+// scaled by a demand multiplier (2.6x / 0.8x / 0.4x / 0.2x of its own
+// capacity-proportional rate), so fleet-wide supply and demand roughly
+// balance while the hot cluster drowns and the cold one idles. Pinned homing
+// exposes the imbalance as queueing delay on the hot cluster; the dynamic
+// policies route around it. The load-bearing shape check (enforced again by
+// the CI smoke step over the --out JSON): least-loaded must beat pinned on
+// fleet-wide p95 initial queueing delay at this operating point.
+//
+//   --out FILE   also write the per-policy summary as JSON (CI artifact)
+
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/fleet/fleet.h"
+#include "src/fleet/router.h"
+
+namespace {
+
+using namespace philly;
+
+// Four equal 128-GPU clusters; the imbalance lives in demand, not capacity,
+// so every policy faces the same fleet-wide offered load.
+constexpr const char* kClustersSpec = "2x8x8,2x8x8,2x8x8,2x8x8";
+constexpr double kDemandMultipliers[] = {2.6, 0.8, 0.4, 0.2};
+constexpr int64_t kSpillThreshold = 4;
+
+struct PolicyOutcome {
+  RouterPolicy policy = RouterPolicy::kPinnedHome;
+  int64_t total_jobs = 0;
+  int64_t spilled_jobs = 0;
+  double p50_queue_min = 0.0;
+  double p95_queue_min = 0.0;
+  double hot_p95_queue_min = 0.0;  // cluster 0, the 2.6x tenant
+  double allocated_gpu_hours = 0.0;
+  double useful_gpu_hours = 0.0;
+};
+
+double QuantileOfSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+std::vector<double> QueueDelaysMinutes(const std::vector<JobRecord>& jobs) {
+  std::vector<double> delays;
+  delays.reserve(jobs.size());
+  for (const JobRecord& job : jobs) {
+    delays.push_back(ToMinutes(job.InitialQueueDelay()));
+  }
+  return delays;
+}
+
+PolicyOutcome RunPolicy(RouterPolicy policy, int days, uint64_t seed) {
+  std::vector<ClusterConfig> topologies;
+  std::string error;
+  if (!ParseClustersSpec(kClustersSpec, &topologies, &error)) {
+    std::fprintf(stderr, "internal cluster spec rejected: %s\n", error.c_str());
+    std::exit(1);
+  }
+  FleetConfig config;
+  for (size_t i = 0; i < topologies.size(); ++i) {
+    FleetClusterSpec spec;
+    spec.name = "cluster" + std::to_string(i);
+    spec.experiment =
+        FleetClusterExperiment(topologies[i], days, seed, static_cast<int>(i));
+    for (VcConfig& vc : spec.experiment.workload.vcs) {
+      vc.arrival_rate_per_hour *= kDemandMultipliers[i];
+    }
+    config.clusters.push_back(std::move(spec));
+  }
+  config.router.policy = policy;
+  config.router.spill_threshold = kSpillThreshold;
+  const FleetResult fleet = FleetSimulation(std::move(config)).Run();
+
+  PolicyOutcome outcome;
+  outcome.policy = policy;
+  outcome.total_jobs = fleet.total_jobs;
+  outcome.spilled_jobs = fleet.spilled_jobs;
+  std::vector<double> delays;
+  for (const FleetClusterResult& cluster : fleet.clusters) {
+    const std::vector<double> cluster_delays = QueueDelaysMinutes(cluster.result.jobs);
+    delays.insert(delays.end(), cluster_delays.begin(), cluster_delays.end());
+  }
+  std::sort(delays.begin(), delays.end());
+  outcome.p50_queue_min = QuantileOfSorted(delays, 0.5);
+  outcome.p95_queue_min = QuantileOfSorted(delays, 0.95);
+  // Under pinned homing cluster 0's jobs all run on cluster 0, so its delays
+  // isolate the hot tenant; under dynamic policies the hot tenant's jobs are
+  // spread, so this column shows where the relief comes from.
+  std::vector<double> hot = QueueDelaysMinutes(fleet.clusters[0].result.jobs);
+  std::sort(hot.begin(), hot.end());
+  outcome.hot_p95_queue_min = QuantileOfSorted(hot, 0.95);
+  outcome.allocated_gpu_hours = fleet.allocated_gpu_seconds / 3600.0;
+  outcome.useful_gpu_hours = fleet.useful_gpu_seconds / 3600.0;
+  return outcome;
+}
+
+std::string JsonNumber(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[i + 1];
+    }
+  }
+
+  PrintHeader("fleet router policies on an imbalanced four-cluster fleet",
+              "multi-cluster fleets route around per-cluster demand imbalance "
+              "(Helios-style coordination); pinned homing pays the imbalance "
+              "as hot-cluster queueing delay");
+
+  const int days = BenchDays();
+  const uint64_t seed = BenchSeed();
+  const RouterPolicy kPolicies[] = {RouterPolicy::kPinnedHome,
+                                    RouterPolicy::kLeastLoaded,
+                                    RouterPolicy::kSpillover};
+  std::vector<PolicyOutcome> outcomes;
+  for (const RouterPolicy policy : kPolicies) {
+    outcomes.push_back(RunPolicy(policy, days, seed));
+  }
+
+  TextTable table({"policy", "jobs", "spilled", "p50 queue min", "p95 queue min",
+                   "hot-cluster p95", "allocated GPU-h", "useful GPU-h"});
+  for (const PolicyOutcome& o : outcomes) {
+    table.AddRow({std::string(ToString(o.policy)), std::to_string(o.total_jobs),
+                  std::to_string(o.spilled_jobs), FormatDouble(o.p50_queue_min, 2),
+                  FormatDouble(o.p95_queue_min, 2),
+                  FormatDouble(o.hot_p95_queue_min, 2),
+                  FormatDouble(o.allocated_gpu_hours, 1),
+                  FormatDouble(o.useful_gpu_hours, 1)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const PolicyOutcome& pinned = outcomes[0];
+  const PolicyOutcome& least = outcomes[1];
+  const PolicyOutcome& spill = outcomes[2];
+
+  ShapeChecker checker;
+  checker.Check("every policy routes the same workload",
+                least.total_jobs == pinned.total_jobs &&
+                    spill.total_jobs == pinned.total_jobs,
+                std::to_string(pinned.total_jobs) + " jobs");
+  checker.Check("the operating point is contended under pinned homing",
+                pinned.p95_queue_min > 1.0,
+                FormatDouble(pinned.p95_queue_min, 2) + " min p95");
+  // The tentpole claim (also asserted by CI over the JSON below).
+  checker.Check("least-loaded beats pinned on fleet p95 queueing delay",
+                least.p95_queue_min < pinned.p95_queue_min,
+                FormatDouble(pinned.p95_queue_min, 2) + " -> " +
+                    FormatDouble(least.p95_queue_min, 2) + " min");
+  checker.Check("least-loaded relieves the hot cluster",
+                least.hot_p95_queue_min < pinned.hot_p95_queue_min,
+                FormatDouble(pinned.hot_p95_queue_min, 2) + " -> " +
+                    FormatDouble(least.hot_p95_queue_min, 2) + " min");
+  checker.Check("spillover overflows the hot cluster at this operating point",
+                spill.spilled_jobs > 0,
+                std::to_string(spill.spilled_jobs) + " spills");
+  checker.Check("spillover does not queue worse than pinned",
+                spill.p95_queue_min <= pinned.p95_queue_min,
+                FormatDouble(pinned.p95_queue_min, 2) + " vs " +
+                    FormatDouble(spill.p95_queue_min, 2) + " min");
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"days\": " << days << ",\n  \"seed\": " << seed
+        << ",\n  \"clusters\": \"" << kClustersSpec
+        << "\",\n  \"spill_threshold\": " << kSpillThreshold
+        << ",\n  \"demand_multipliers\": [";
+    for (size_t i = 0; i < 4; ++i) {
+      out << (i > 0 ? ", " : "") << JsonNumber(kDemandMultipliers[i]);
+    }
+    out << "],\n  \"policies\": [\n";
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      const PolicyOutcome& o = outcomes[i];
+      out << "    {\"policy\": \"" << ToString(o.policy)
+          << "\", \"total_jobs\": " << o.total_jobs
+          << ", \"spilled_jobs\": " << o.spilled_jobs
+          << ", \"p50_queue_min\": " << JsonNumber(o.p50_queue_min)
+          << ", \"p95_queue_min\": " << JsonNumber(o.p95_queue_min)
+          << ", \"hot_p95_queue_min\": " << JsonNumber(o.hot_p95_queue_min)
+          << ", \"allocated_gpu_hours\": " << JsonNumber(o.allocated_gpu_hours)
+          << ", \"useful_gpu_hours\": " << JsonNumber(o.useful_gpu_hours) << "}"
+          << (i + 1 < outcomes.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "error while writing %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("summary written to %s\n", out_path.c_str());
+  }
+  return FinishBench(checker);
+}

@@ -75,8 +75,11 @@ SimulationResult JoinSchedulerEvents(const std::vector<SchedEvent>& events,
       case SchedEventKind::kQueued:
       case SchedEventKind::kLocalityRelax:
       case SchedEventKind::kBackoff:
-        // Queue entries and pass mechanics carry no record state; they exist
-        // for timeline inspection.
+      case SchedEventKind::kRoute:
+        // Queue entries, pass mechanics, and fleet routing decisions carry no
+        // record state; they exist for timeline inspection. (Route events
+        // live in the fleet-level stream, not a cluster's scheduler stream,
+        // but a reader that concatenates them must still not trip here.)
         break;
       case SchedEventKind::kSchedule: {
         JobRecord* job = find_job(e);

@@ -221,6 +221,10 @@ std::string RenderHtmlDashboard(const HtmlDashboardInput& input) {
       << ".ty{text-anchor:end}\n.al{font-size:11px;fill:#333;text-anchor:middle}\n"
       << ".lg{font-size:10px;fill:#333}\n"
       << ".frame{fill:none;stroke:#999}\n.grid{stroke:#eee}\n"
+      << "table{border-collapse:collapse;margin:8px 0}\n"
+      << "th,td{border:1px solid #ddd;padding:4px 10px;font-size:12px;"
+      << "text-align:right}\nth{background:#f5f5f5}td:first-child,"
+      << "th:first-child{text-align:left}\n"
       << "</style>\n</head>\n<body>\n"
       << "<h1>" << HtmlEscape(input.title) << "</h1>\n";
 
@@ -277,6 +281,32 @@ std::string RenderHtmlDashboard(const HtmlDashboardInput& input) {
                         "jobs");
   }
   out << "</div>\n";
+
+  // ---- fleet routing section (phillyctl fleet --html) ----
+  if (input.fleet != nullptr) {
+    const FleetDashboardSection& fleet = *input.fleet;
+    out << "<h2>Fleet routing (" << HtmlEscape(fleet.router) << ")</h2>\n";
+    out << "<div class=\"tiles\">\n";
+    SummaryTile(out, "clusters", std::to_string(fleet.clusters.size()));
+    SummaryTile(out, "jobs routed", std::to_string(fleet.total_jobs));
+    SummaryTile(out, "spilled off home", std::to_string(fleet.spilled_jobs));
+    out << "</div>\n";
+    out << "<table><tr><th>cluster</th><th>GPUs</th><th>jobs</th>"
+        << "<th>home</th><th>routed in</th><th>routed away</th>"
+        << "<th>mean occ %</th><th>p95 queue (min)</th></tr>\n";
+    std::vector<std::pair<std::string, int64_t>> rows;
+    rows.reserve(fleet.clusters.size());
+    for (const FleetDashboardSection::Cluster& c : fleet.clusters) {
+      out << "<tr><td>" << HtmlEscape(c.name) << "</td><td>" << c.total_gpus
+          << "</td><td>" << c.jobs << "</td><td>" << c.home_jobs << "</td><td>"
+          << c.routed_in << "</td><td>" << c.routed_away << "</td><td>"
+          << Num(c.mean_occupancy * 100.0) << "</td><td>"
+          << Num(c.p95_queue_minutes) << "</td></tr>\n";
+      rows.emplace_back(c.name, c.jobs);
+    }
+    out << "</table>\n<div class=\"charts\">\n"
+        << BarChartSvg("Jobs per cluster", rows) << "</div>\n";
+  }
 
   // ---- Fig 1 analogue: lifecycle funnel from the event stream ----
   if (input.events != nullptr) {

@@ -20,6 +20,25 @@
 
 namespace philly {
 
+// Fleet summary (docs/fleet.md): one row per member cluster plus the router's
+// fleet-wide counters. Rendered as its own section when attached below.
+struct FleetDashboardSection {
+  struct Cluster {
+    std::string name;
+    int total_gpus = 0;
+    int64_t jobs = 0;  // jobs that ran here
+    int64_t home_jobs = 0;
+    int64_t routed_in = 0;
+    int64_t routed_away = 0;
+    double mean_occupancy = 0.0;  // fraction
+    double p95_queue_minutes = 0.0;
+  };
+  std::string router;  // policy name
+  int64_t total_jobs = 0;
+  int64_t spilled_jobs = 0;
+  std::vector<Cluster> clusters;
+};
+
 struct HtmlDashboardInput {
   std::string title = "philly run";
   // Required: the per-minute telemetry stream.
@@ -27,6 +46,8 @@ struct HtmlDashboardInput {
   // Optional: scheduler events (Fig 1 funnel) and job records (Fig 3/8 CDFs).
   const std::vector<SchedEvent>* events = nullptr;
   const std::vector<JobRecord>* jobs = nullptr;
+  // Optional: fleet routing section (phillyctl fleet --html).
+  const FleetDashboardSection* fleet = nullptr;
   // Downsampling window for the time-series charts.
   SimDuration rollup_window = Hours(1);
 };

@@ -1,0 +1,120 @@
+#include "src/fleet/router.h"
+
+#include <cassert>
+
+namespace philly {
+namespace {
+
+constexpr std::string_view kPolicyNames[] = {
+    "pinned", "least-loaded", "spillover",
+};
+
+}  // namespace
+
+std::string_view ToString(RouterPolicy policy) {
+  return kPolicyNames[static_cast<size_t>(policy)];
+}
+
+bool RouterPolicyFromString(std::string_view text, RouterPolicy* policy) {
+  for (size_t i = 0; i < std::size(kPolicyNames); ++i) {
+    if (text == kPolicyNames[i]) {
+      *policy = static_cast<RouterPolicy>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+RouterClusterModel::RouterClusterModel(int total_gpus)
+    : total_gpus_(total_gpus), free_gpus_(total_gpus) {
+  assert(total_gpus > 0);
+}
+
+void RouterClusterModel::Start(int gpus, SimDuration duration, SimTime at) {
+  free_gpus_ -= gpus;
+  running_.push(Running{at + duration, next_seq_++, gpus});
+}
+
+void RouterClusterModel::DrainWaiting(SimTime at) {
+  while (!waiting_.empty() && waiting_.front().gpus <= free_gpus_) {
+    const Waiting head = waiting_.front();
+    waiting_.pop_front();
+    Start(head.gpus, head.duration, at);
+  }
+}
+
+void RouterClusterModel::Advance(SimTime now) {
+  while (!running_.empty() && running_.top().finish <= now) {
+    const Running done = running_.top();
+    running_.pop();
+    free_gpus_ += done.gpus;
+    // Admissions start at the freeing finish time; their own finish may also
+    // be <= now, in which case the loop retires them in turn.
+    DrainWaiting(done.finish);
+  }
+}
+
+void RouterClusterModel::Admit(const JobSpec& job, SimTime now) {
+  // Demands beyond the cluster's capacity would wait forever in the fluid
+  // model; cap them so the model stays live (the real simulator's placer has
+  // the same full-cluster ceiling via relaxed locality).
+  const int gpus = job.num_gpus > total_gpus_ ? total_gpus_ : job.num_gpus;
+  if (waiting_.empty() && gpus <= free_gpus_) {
+    Start(gpus, job.planned_duration, now);
+  } else {
+    waiting_.push_back(Waiting{gpus, job.planned_duration});
+  }
+}
+
+JobRouter::JobRouter(RouterConfig config, const std::vector<int>& cluster_gpus)
+    : config_(config) {
+  assert(!cluster_gpus.empty());
+  models_.reserve(cluster_gpus.size());
+  for (int gpus : cluster_gpus) {
+    models_.emplace_back(gpus);
+  }
+}
+
+int JobRouter::LeastLoaded() const {
+  int best = 0;
+  for (int i = 1; i < num_clusters(); ++i) {
+    const RouterClusterModel& m = models_[static_cast<size_t>(i)];
+    const RouterClusterModel& b = models_[static_cast<size_t>(best)];
+    if (m.QueueDepth() < b.QueueDepth() ||
+        (m.QueueDepth() == b.QueueDepth() && m.FreeGpus() > b.FreeGpus())) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+RouteDecision JobRouter::Route(const JobSpec& job, int home) {
+  assert(home >= 0 && home < num_clusters());
+  for (RouterClusterModel& model : models_) {
+    model.Advance(job.submit_time);
+  }
+  RouteDecision d;
+  d.home = home;
+  d.home_queue = models_[static_cast<size_t>(home)].QueueDepth();
+  switch (config_.policy) {
+    case RouterPolicy::kPinnedHome:
+      d.dest = home;
+      break;
+    case RouterPolicy::kLeastLoaded:
+      d.dest = LeastLoaded();
+      break;
+    case RouterPolicy::kSpillover:
+      // Home stays the destination until its queue exceeds the threshold;
+      // overflow goes least-loaded over ALL clusters (home included), so the
+      // destination's queue never exceeds home's at decision time.
+      d.dest = d.home_queue <= config_.spill_threshold ? home : LeastLoaded();
+      break;
+  }
+  RouterClusterModel& dest = models_[static_cast<size_t>(d.dest)];
+  d.dest_queue = dest.QueueDepth();
+  d.dest_free = dest.FreeGpus();
+  dest.Admit(job, job.submit_time);
+  return d;
+}
+
+}  // namespace philly

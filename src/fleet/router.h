@@ -1,0 +1,138 @@
+// Fleet front-door job router (docs/fleet.md).
+//
+// The router decides, at submission time, which cluster of the fleet a job
+// runs on. Its decision inputs come from a deterministic fluid load model it
+// maintains per cluster — a planned-duration/free-GPU estimator, not the
+// simulators' ground truth — because the N ClusterSimulations run
+// independently after routing and cannot be consulted mid-decision. The
+// model's queue depths and free-GPU counts at each decision are recorded in
+// the `route` event, so every routing choice is auditable from the stream.
+//
+// Policies:
+//   kPinnedHome   route to the job's home cluster unconditionally. With a
+//                 partitioned trace this makes the fleet layer exactly
+//                 conservative: per-cluster streams are byte-identical to N
+//                 single-cluster runs (the differential test's ground rule).
+//   kLeastLoaded  route to the cluster with the smallest model queue depth,
+//                 ties broken by most free GPUs, then lowest cluster index.
+//   kSpillover    home first; when the home queue exceeds spill_threshold,
+//                 overflow to the least-loaded cluster (home included, so the
+//                 destination's queue is never longer than home's).
+
+#ifndef SRC_FLEET_ROUTER_H_
+#define SRC_FLEET_ROUTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <string_view>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/workload/job.h"
+
+namespace philly {
+
+enum class RouterPolicy {
+  kPinnedHome,
+  kLeastLoaded,
+  kSpillover,
+};
+
+std::string_view ToString(RouterPolicy policy);
+bool RouterPolicyFromString(std::string_view text, RouterPolicy* policy);
+
+struct RouterConfig {
+  RouterPolicy policy = RouterPolicy::kPinnedHome;
+  // kSpillover: home queue depth (jobs waiting in the router's model) above
+  // which submissions overflow to the least-loaded cluster.
+  int64_t spill_threshold = 4;
+};
+
+// What the router decided for one job, plus the model state it consulted.
+// These fields map 1:1 onto the route event's cluster/home/*_queue/dest_free.
+struct RouteDecision {
+  int dest = 0;
+  int home = 0;
+  int64_t home_queue = 0;
+  int64_t dest_queue = 0;
+  int64_t dest_free = 0;
+};
+
+// Deterministic fluid model of one cluster's load, advanced in submission
+// order. Jobs run for exactly their planned duration on their requested GPUs;
+// the waiting queue is FIFO with head-of-line blocking (the head admits as
+// soon as its demand fits, matching the spirit of gang scheduling without
+// modeling placement). Deliberately simple: the router needs a consistent,
+// cheap load signal, not a second simulator.
+class RouterClusterModel {
+ public:
+  explicit RouterClusterModel(int total_gpus);
+
+  // Retires every modeled job finishing at or before `now`, admitting waiting
+  // jobs as capacity frees. Must be called with non-decreasing `now`.
+  void Advance(SimTime now);
+
+  // Accounts a routed job: starts it immediately if it fits and nothing is
+  // waiting, otherwise appends it to the FIFO queue.
+  void Admit(const JobSpec& job, SimTime now);
+
+  int64_t QueueDepth() const { return static_cast<int64_t>(waiting_.size()); }
+  int64_t FreeGpus() const { return free_gpus_; }
+  int total_gpus() const { return total_gpus_; }
+
+ private:
+  struct Running {
+    SimTime finish = 0;
+    int64_t seq = 0;  // admission order; makes the heap order total
+    int gpus = 0;
+    bool operator>(const Running& other) const {
+      if (finish != other.finish) {
+        return finish > other.finish;
+      }
+      return seq > other.seq;
+    }
+  };
+  struct Waiting {
+    int gpus = 0;
+    SimDuration duration = 0;
+  };
+
+  void Start(int gpus, SimDuration duration, SimTime at);
+  // Admits queued jobs (in FIFO order) while the head fits.
+  void DrainWaiting(SimTime at);
+
+  int total_gpus_ = 0;
+  int64_t free_gpus_ = 0;
+  int64_t next_seq_ = 0;
+  std::priority_queue<Running, std::vector<Running>, std::greater<Running>> running_;
+  std::deque<Waiting> waiting_;
+};
+
+// The fleet front door. Route() must be called in global submission order
+// (the fleet merge guarantees it); the returned decision is a pure function
+// of the routed-job history, so it is identical across thread counts.
+class JobRouter {
+ public:
+  JobRouter(RouterConfig config, const std::vector<int>& cluster_gpus);
+
+  RouteDecision Route(const JobSpec& job, int home);
+
+  const RouterConfig& config() const { return config_; }
+  int num_clusters() const { return static_cast<int>(models_.size()); }
+  const RouterClusterModel& model(int cluster) const {
+    return models_[static_cast<size_t>(cluster)];
+  }
+
+ private:
+  // Cluster with the smallest queue depth; ties by most free GPUs, then
+  // lowest index. Pure read of the (already advanced) models.
+  int LeastLoaded() const;
+
+  RouterConfig config_;
+  std::vector<RouterClusterModel> models_;
+};
+
+}  // namespace philly
+
+#endif  // SRC_FLEET_ROUTER_H_

@@ -13,7 +13,7 @@ namespace {
 constexpr std::string_view kKindNames[kNumSchedEventKinds] = {
     "submit",  "queued",  "locality_relax", "backoff",    "schedule",
     "preempt", "migrate", "fault_kill",     "requeue",    "complete",
-    "ckpt_begin", "ckpt_end", "ckpt_stall",
+    "ckpt_begin", "ckpt_end", "ckpt_stall", "route",
 };
 
 void AppendEscaped(std::string& out, std::string_view s) {
@@ -107,6 +107,21 @@ std::string ToNdjsonLine(const SchedEvent& e) {
   if (e.rack >= 0) {
     AppendField(out, "rack", static_cast<int64_t>(e.rack));
   }
+  if (e.cluster >= 0) {
+    AppendField(out, "cluster", static_cast<int64_t>(e.cluster));
+  }
+  if (e.home >= 0) {
+    AppendField(out, "home", static_cast<int64_t>(e.home));
+  }
+  if (e.home_queue >= 0) {
+    AppendField(out, "home_queue", e.home_queue);
+  }
+  if (e.dest_queue >= 0) {
+    AppendField(out, "dest_queue", e.dest_queue);
+  }
+  if (e.dest_free >= 0) {
+    AppendField(out, "dest_free", e.dest_free);
+  }
   if (e.kind == SchedEventKind::kSchedule) {
     AppendField(out, "ready", e.ready_time);
     AppendField(out, "wait", e.wait);
@@ -178,6 +193,11 @@ bool SchedEventFromNdjsonLine(std::string_view line, SchedEvent* event,
   e.gpus = static_cast<int>(as_i64("gpus", 0));
   e.attempt = static_cast<int>(as_i64("attempt", -1));
   e.rack = static_cast<int32_t>(as_i64("rack", -1));
+  e.cluster = static_cast<int32_t>(as_i64("cluster", -1));
+  e.home = static_cast<int32_t>(as_i64("home", -1));
+  e.home_queue = as_i64("home_queue", -1);
+  e.dest_queue = as_i64("dest_queue", -1);
+  e.dest_free = as_i64("dest_free", -1);
   e.ready_time = as_i64("ready", 0);
   e.wait = as_i64("wait", 0);
   e.fair_share_time = as_i64("fair", 0);

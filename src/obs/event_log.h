@@ -45,9 +45,11 @@ enum class SchedEventKind {
                    // (detail: "interrupted"); delay = elapsed write time
   kCkptStall,      // contention stretch of a completed write beyond its
                    // uncontended cost; delay = stall seconds
+  kRoute,          // fleet front door routed a job to a cluster (detail:
+                   // router policy; cluster/home + queue/free inputs below)
 };
 
-inline constexpr int kNumSchedEventKinds = 13;
+inline constexpr int kNumSchedEventKinds = 14;
 
 std::string_view ToString(SchedEventKind kind);
 bool SchedEventKindFromString(std::string_view text, SchedEventKind* kind);
@@ -96,6 +98,16 @@ struct SchedEvent {
   // kCkpt*: rack whose shared storage the write drains (-1 = not a
   // checkpoint event; omitted from the encoding).
   int32_t rack = -1;
+
+  // kRoute: destination cluster, the job's home cluster, and the router's
+  // decision inputs at submission time (its fluid-model queue depths and the
+  // destination's free-GPU estimate). All omitted at defaults, so streams
+  // from single-cluster runs are unchanged.
+  int32_t cluster = -1;
+  int32_t home = -1;
+  int64_t home_queue = -1;
+  int64_t dest_queue = -1;
+  int64_t dest_free = -1;
 
   // Kind-specific tag: schedule source ("pass" | "migrate" | "prerun"),
   // preemption mode ("fairshare" | "priority" | "timeslice"), or the

@@ -23,6 +23,7 @@
 #include "src/core/experiment.h"
 #include "src/common/table.h"
 #include "src/fault/fault_process.h"
+#include "src/fleet/fleet.h"
 #include "src/obs/event_log.h"
 #include "src/obs/rollup.h"
 #include "src/obs/timeseries.h"
@@ -242,6 +243,35 @@ TEST(GoldenDeterminismTest, FaultEnabledStreamsMatchCommittedGolden) {
   std::ostringstream stream;
   timeseries.WriteNdjson(stream, &digest);
   CompareOrUpdate("telemetry_fault.ndjson", stream.str());
+}
+
+// Fleet golden: a three-cluster fleet on a compressed horizon under the
+// spillover router, with the threshold low enough that the stream records
+// real spills. Guards the route event encoding (cluster/home/queue/free
+// fields, policy detail) and the router's decision sequence — merge order,
+// fluid-model state, id remapping — against accidental drift. The per-cluster
+// streams need no golden of their own: the pinned differential test ties them
+// to single-cluster runs, which the goldens above already pin down.
+TEST(GoldenDeterminismTest, FleetRouteStreamMatchesCommittedGolden) {
+  std::vector<ClusterConfig> topologies;
+  std::string error;
+  ASSERT_TRUE(ParseClustersSpec("1x8x8,1x8x8,1x4x4", &topologies, &error)) << error;
+  FleetConfig config;
+  for (size_t i = 0; i < topologies.size(); ++i) {
+    config.clusters.push_back(
+        {"cluster" + std::to_string(i),
+         FleetClusterExperiment(topologies[i], /*days=*/1, /*base_seed=*/7,
+                                static_cast<int>(i))});
+  }
+  config.router.policy = RouterPolicy::kSpillover;
+  config.router.spill_threshold = 0;
+  const FleetResult fleet = FleetSimulation(std::move(config)).Run();
+
+  ASSERT_GT(fleet.spilled_jobs, 0)
+      << "fleet golden must actually exercise spillover routing";
+  std::ostringstream events;
+  fleet.route_events.WriteNdjson(events);
+  CompareOrUpdate("fleet_events.ndjson", events.str());
 }
 
 // The golden stream must also be independent of observability: re-running the

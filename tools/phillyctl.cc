@@ -24,6 +24,19 @@
 //       --retries defaults to the single --retry value; --threads overrides
 //       the pool size (default: PHILLY_BENCH_THREADS or hardware
 //       concurrency); results are identical for any thread count.
+//   phillyctl fleet [--clusters SPEC] [--router POLICY]
+//                   [--spill-threshold N] [--days N] [--seed S] [--threads N]
+//                   [--out DIR] [--html FILE]
+//       Run a multi-cluster fleet behind the front-door job router
+//       (docs/fleet.md) and print a per-cluster routing/queueing summary.
+//       --clusters is either a count ("4": four paper-scale clusters) or a
+//       comma list of RxS / RxSxG topologies ("15x16x8,4x24x2"); each
+//       member's workload is scaled to its GPU capacity. --router is pinned,
+//       least-loaded, or spillover (default pinned); --spill-threshold (home
+//       queue depth, spillover only) defaults to 4. --out writes the fleet
+//       route stream, every per-cluster event and telemetry stream, and a
+//       manifest.json recording the knobs; --html renders the dashboard with
+//       a fleet routing section.
 //
 //   Scheduler options (simulate/report; sweep takes all but --scheduler):
 //     --scheduler philly|fifo|optimus|tiresias|gandiva   (default philly)
@@ -83,6 +96,7 @@
 #include "src/core/report.h"
 #include "src/core/validate.h"
 #include "src/fault/checkpoint_io.h"
+#include "src/fleet/fleet.h"
 #include "src/fault/fault_process.h"
 #include "src/obs/event_log.h"
 #include "src/obs/manifest.h"
@@ -127,7 +141,9 @@ Args Parse(int argc, char** argv) {
                                      "--events-out",
                                      "--metrics-out", "--trace-out",
                                      "--from-events", "--telemetry-out",
-                                     "--telemetry", "--html"};
+                                     "--telemetry", "--html",
+                                     "--clusters", "--router",
+                                     "--spill-threshold"};
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     bool takes_value = false;
@@ -148,7 +164,8 @@ Args Parse(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: phillyctl <simulate|analyze|report|sweep> [options]\n"
+               "usage: phillyctl <simulate|analyze|report|sweep|fleet> "
+               "[options]\n"
                "see the header of tools/phillyctl.cc or README.md for the "
                "option list\n");
   return 2;
@@ -1062,6 +1079,219 @@ int RunSweep(const Args& args) {
   return 0;
 }
 
+// p95 of initial queueing delay, in minutes (what bench/fleet_router and the
+// fleet summary table report).
+double P95QueueDelayMinutes(const std::vector<JobRecord>& jobs) {
+  std::vector<double> delays;
+  delays.reserve(jobs.size());
+  for (const JobRecord& job : jobs) {
+    delays.push_back(ToMinutes(job.InitialQueueDelay()));
+  }
+  if (delays.empty()) {
+    return 0.0;
+  }
+  std::sort(delays.begin(), delays.end());
+  const size_t index = static_cast<size_t>(
+      0.95 * static_cast<double>(delays.size() - 1) + 0.5);
+  return delays[std::min(index, delays.size() - 1)];
+}
+
+// `fleet`: run N clusters behind the front-door router and summarize routing,
+// queueing, and the fleet GPU-time ledger. All three fleet knobs are strictly
+// validated: a malformed --clusters/--router/--spill-threshold exits 1 with a
+// clear message and never silently defaults.
+int RunFleet(const Args& args) {
+  const std::string clusters_spec = args.Get("--clusters", "3");
+  std::vector<ClusterConfig> cluster_configs;
+  std::string error;
+  if (!ParseClustersSpec(clusters_spec, &cluster_configs, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const std::string router_name = args.Get("--router", "pinned");
+  RouterConfig router;
+  if (!RouterPolicyFromString(router_name, &router.policy)) {
+    std::fprintf(stderr,
+                 "--router '%s' is invalid: expected pinned, least-loaded, or "
+                 "spillover\n",
+                 router_name.c_str());
+    return 1;
+  }
+  if (args.values.count("--spill-threshold") > 0) {
+    if (router.policy != RouterPolicy::kSpillover) {
+      std::fprintf(stderr,
+                   "--spill-threshold only applies to --router spillover\n");
+      return 1;
+    }
+    const std::string text = args.Get("--spill-threshold", "");
+    long threshold = 0;
+    if (!ParseStrictLong(text, &threshold) || threshold < 0) {
+      std::fprintf(stderr,
+                   "--spill-threshold '%s' is invalid: expected a non-negative "
+                   "home queue depth\n",
+                   text.c_str());
+      return 1;
+    }
+    router.spill_threshold = threshold;
+  }
+
+  const int days = args.GetInt("--days", 3);
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("--seed", 42));
+  FleetConfig config;
+  config.router = router;
+  config.collect_events = true;
+  config.collect_telemetry = true;
+  config.threads = args.GetInt("--threads", 0);
+  for (size_t i = 0; i < cluster_configs.size(); ++i) {
+    config.clusters.push_back(
+        {"cluster" + std::to_string(i),
+         FleetClusterExperiment(cluster_configs[i], days, seed,
+                                static_cast<int>(i))});
+  }
+
+  std::printf("simulating a %zu-cluster fleet for %d days (seed %llu, router "
+              "%s)...\n",
+              config.clusters.size(), days,
+              static_cast<unsigned long long>(seed), router_name.c_str());
+  FleetSimulation fleet(std::move(config));
+  const FleetResult result = fleet.Run();
+  std::printf("%lld jobs routed (%lld off their home cluster)\n\n",
+              static_cast<long long>(result.total_jobs),
+              static_cast<long long>(result.spilled_jobs));
+
+  FleetDashboardSection section;
+  section.router = router_name;
+  section.total_jobs = result.total_jobs;
+  section.spilled_jobs = result.spilled_jobs;
+  TextTable table({"cluster", "GPUs", "jobs", "home", "in", "away",
+                   "mean occ %", "p95 queue (min)"});
+  for (size_t i = 0; i < result.clusters.size(); ++i) {
+    const FleetClusterResult& cluster = result.clusters[i];
+    double occupancy_sum = 0.0;
+    for (const TelemetrySample& s : cluster.telemetry.samples()) {
+      occupancy_sum += s.occupancy;
+    }
+    const double mean_occ =
+        cluster.telemetry.samples().empty()
+            ? 0.0
+            : occupancy_sum /
+                  static_cast<double>(cluster.telemetry.samples().size());
+    const double p95 = P95QueueDelayMinutes(cluster.result.jobs);
+    const int gpus = cluster_configs[i].TotalGpus();
+    table.AddRow({cluster.name, std::to_string(gpus),
+                  std::to_string(cluster.num_jobs),
+                  std::to_string(cluster.home_jobs),
+                  std::to_string(cluster.routed_in),
+                  std::to_string(cluster.routed_away),
+                  FormatDouble(mean_occ * 100.0, 1), FormatDouble(p95, 2)});
+    section.clusters.push_back({cluster.name, gpus, cluster.num_jobs,
+                                cluster.home_jobs, cluster.routed_in,
+                                cluster.routed_away, mean_occ, p95});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("fleet GPU-time ledger: %.1f allocated GPU-hours = %.1f useful "
+              "+ %.1f fault-lost + %.1f ckpt-overhead + %.1f ckpt-stall\n",
+              result.allocated_gpu_seconds / 3600.0,
+              result.useful_gpu_seconds / 3600.0,
+              result.machine_fault_lost_gpu_seconds / 3600.0,
+              result.ckpt_overhead_gpu_seconds / 3600.0,
+              result.ckpt_stall_gpu_seconds / 3600.0);
+
+  RunManifest manifest;
+  manifest.tool = "phillyctl";
+  manifest.command = "fleet";
+  manifest.seed = seed;
+  manifest.days = days;
+  manifest.threads = args.GetInt("--threads", 0);
+  manifest.knobs["clusters"] = clusters_spec;
+  manifest.knobs["router"] = router_name;
+  if (router.policy == RouterPolicy::kSpillover) {
+    manifest.knobs["spill-threshold"] = std::to_string(router.spill_threshold);
+  }
+
+  const std::string out_dir = args.Get("--out", "");
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    if (!WriteObsFile(out_dir + "/fleet_events.ndjson", "fleet route stream",
+                      "fleet-events", &manifest, [&](std::ostream& out) {
+                        result.route_events.WriteNdjson(out);
+                      })) {
+      return 1;
+    }
+    for (size_t i = 0; i < result.clusters.size(); ++i) {
+      const FleetClusterResult& cluster = result.clusters[i];
+      const std::string base = out_dir + "/" + cluster.name;
+      if (!WriteObsFile(base + ".events.ndjson", "event log",
+                        (cluster.name + "-events").c_str(), &manifest,
+                        [&](std::ostream& out) {
+                          cluster.events.WriteNdjson(out);
+                        })) {
+        return 1;
+      }
+      // Same embedded digest the simulate path writes, so each per-cluster
+      // stream verifies under `analyze --telemetry` on its own.
+      TelemetryDigest digest = DigestOfSamples(cluster.telemetry.samples());
+      const TelemetryDigest jobs_half = ComputeUtilDigest(cluster.result.jobs);
+      digest.jobs = jobs_half.jobs;
+      digest.segments = jobs_half.segments;
+      digest.util_weight = jobs_half.util_weight;
+      digest.util_weighted_sum = jobs_half.util_weighted_sum;
+      if (!WriteObsFile(base + ".telemetry.ndjson", "telemetry",
+                        (cluster.name + "-telemetry").c_str(), &manifest,
+                        [&](std::ostream& out) {
+                          cluster.telemetry.WriteNdjson(out, &digest);
+                        })) {
+        return 1;
+      }
+    }
+    std::printf("fleet streams written to %s/\n", out_dir.c_str());
+  }
+
+  const std::string html_out = args.Get("--html", "");
+  if (!html_out.empty()) {
+    // Fleet-wide inputs: concatenated streams (rollup-of-concatenation equals
+    // the merged fleet rollup) plus the routing section.
+    std::vector<TelemetrySample> all_samples;
+    std::vector<SchedEvent> all_events;
+    std::vector<JobRecord> all_jobs;
+    for (const FleetClusterResult& cluster : result.clusters) {
+      all_samples.insert(all_samples.end(), cluster.telemetry.samples().begin(),
+                         cluster.telemetry.samples().end());
+      all_events.insert(all_events.end(), cluster.events.events().begin(),
+                        cluster.events.events().end());
+      all_jobs.insert(all_jobs.end(), cluster.result.jobs.begin(),
+                      cluster.result.jobs.end());
+    }
+    all_events.insert(all_events.end(), result.route_events.events().begin(),
+                      result.route_events.events().end());
+    HtmlDashboardInput dashboard;
+    dashboard.title = "philly fleet (" + router_name + ") seed " +
+                      std::to_string(seed) + ", " + std::to_string(days) +
+                      " days";
+    dashboard.samples = &all_samples;
+    dashboard.events = &all_events;
+    dashboard.jobs = &all_jobs;
+    dashboard.fleet = &section;
+    if (!WriteObsFile(html_out, "dashboard", "dashboard", &manifest,
+                      [&](std::ostream& out) {
+                        out << RenderHtmlDashboard(dashboard);
+                      })) {
+      return 1;
+    }
+    std::printf("fleet dashboard written to %s\n", html_out.c_str());
+  }
+
+  if (!out_dir.empty()) {
+    const std::string manifest_path = out_dir + "/manifest.json";
+    if (!manifest.WriteFile(manifest_path)) {
+      std::fprintf(stderr, "cannot write %s\n", manifest_path.c_str());
+      return 1;
+    }
+    std::printf("manifest written to %s\n", manifest_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace philly
 
@@ -1078,6 +1308,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "sweep") {
     return philly::RunSweep(args);
+  }
+  if (args.command == "fleet") {
+    return philly::RunFleet(args);
   }
   return philly::Usage();
 }
