@@ -11,6 +11,7 @@
 #include "src/failure/failure_logs.h"
 #include "src/obs/event_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/obs/timeseries.h"
 #include "src/obs/trace_profiler.h"
 #include "src/sched/placement.h"
@@ -219,9 +220,13 @@ BENCHMARK(BM_EndToEndSimulation)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // Same simulation with observability sinks attached. The second argument is
 // a sink mask (1 = event log, 2 = metrics, 4 = phase profiler, 8 = telemetry
-// time series) so each sink's cost is measurable against
-// BM_EndToEndSimulation on its own. The event-driven sinks (events, metrics,
-// profiler) pay per simulator event and hold to a < ~5% budget. The
+// time series, 16 = causal span tracer) so each sink's cost is measurable
+// against BM_EndToEndSimulation on its own. The event-driven sinks (events,
+// metrics, profiler, spans) pay per simulator event and hold to a < ~5%
+// budget — the span tracer measured ~2% on the 1-day run (one segment append
+// per failed evaluation plus a CanPlace probe at fragmentation decisions;
+// probes are memoized against Cluster::AllocVersion(), which is what keeps
+// this under budget — unmemoized they measured ~12%). The
 // telemetry sink is different in kind: it pays per simulated minute
 // (~1.5us/sample: a pre-reserved append plus one AR(1) step per running
 // job), and this workload simulates far more minutes (~45k for the drained
@@ -242,15 +247,18 @@ void BM_EndToEndSimulationObserved(benchmark::State& state) {
   MetricsRegistry metrics;
   TraceProfiler profiler;
   ClusterTimeSeries timeseries;
+  SpanTracer spans;
   for (auto _ : state) {
     event_log.Clear();
     timeseries.Clear();
+    spans.Clear();
     SimulationConfig config;
     config.vcs = workload.vcs;
     if ((sinks & 1) != 0) config.obs.event_log = &event_log;
     if ((sinks & 2) != 0) config.obs.metrics = &metrics;
     if ((sinks & 4) != 0) config.obs.profiler = &profiler;
     if ((sinks & 8) != 0) config.obs.timeseries = &timeseries;
+    if ((sinks & 16) != 0) config.obs.spans = &spans;
     ClusterSimulation sim(config, jobs);
     benchmark::DoNotOptimize(sim.Run().jobs.size());
     benchmark::DoNotOptimize(event_log.size());
@@ -262,6 +270,7 @@ void BM_EndToEndSimulationObserved(benchmark::State& state) {
   if ((sinks & 2) != 0) label += " metrics";
   if ((sinks & 4) != 0) label += " profiler";
   if ((sinks & 8) != 0) label += " telemetry";
+  if ((sinks & 16) != 0) label += " spans";
   state.SetLabel(label);
 }
 BENCHMARK(BM_EndToEndSimulationObserved)
@@ -269,8 +278,9 @@ BENCHMARK(BM_EndToEndSimulationObserved)
     ->Args({1, 2})   // metrics only
     ->Args({1, 4})   // phase profiler only
     ->Args({1, 8})   // telemetry time series only
-    ->Args({1, 15})  // everything at once
-    ->Args({4, 15})
+    ->Args({1, 16})  // causal span tracer only
+    ->Args({1, 31})  // everything at once
+    ->Args({4, 31})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

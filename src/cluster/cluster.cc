@@ -272,6 +272,7 @@ bool Cluster::Allocate(JobId job, const Placement& placement) {
     std::sort(shards.begin(), shards.end(), by_server);
   }
   job_shards_.emplace(job, std::move(shards));
+  ++alloc_version_;
   return true;
 }
 
@@ -299,6 +300,7 @@ int Cluster::Release(JobId job) {
     IndexSelfCheck(shard.server);
   }
   job_shards_.erase(it);
+  ++alloc_version_;
   return freed;
 }
 
@@ -365,6 +367,7 @@ void Cluster::SetServerOffline(ServerId s, bool offline) {
   }
   IndexMoveRack(rack, old_rack_free, rack_free_[rack]);
   IndexSelfCheck(s);
+  ++alloc_version_;
 }
 
 bool Cluster::DebugCheckIndex(std::string* error) const {

@@ -140,6 +140,13 @@ class Cluster {
   double CpuCoresFor(ServerId s, int gpus) const;
   double MemoryGbFor(ServerId s, int gpus) const;
 
+  // Monotone counter bumped by every successful Allocate/Release/
+  // SetServerOffline. Two calls observing the same version see identical
+  // free-capacity state, so placement-feasibility probes (CanPlace) against
+  // an unchanged cluster can be memoized — the span tracer's eval-fail
+  // refinement relies on this to stay off the scheduler's hot path.
+  int64_t AllocVersion() const { return alloc_version_; }
+
   // Takes a server out of (or back into) service, e.g. for a machine fault.
   // The server must be drained (no tenants) before going offline; its GPUs
   // stop counting as free until it returns. No-op if already in that state.
@@ -209,6 +216,7 @@ class Cluster {
   int used_gpus_ = 0;
   int offline_gpus_ = 0;
   int num_offline_ = 0;
+  int64_t alloc_version_ = 0;
   ClusterConfig config_;
   std::vector<int> server_capacity_;
   std::vector<int> server_used_;

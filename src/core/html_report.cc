@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "src/core/analysis.h"
+#include "src/core/span_analysis.h"
 #include "src/obs/rollup.h"
 #include "src/workload/job.h"
 
@@ -322,6 +323,47 @@ std::string RenderHtmlDashboard(const HtmlDashboardInput& input) {
     }
     out << "<h2>Job lifecycle (Fig 1 analogue)</h2>\n<div class=\"charts\">\n"
         << BarChartSvg("Scheduler events by kind", rows) << "</div>\n";
+  }
+
+  // ---- "Why jobs waited": per-VC x per-cause blame from the span stream ----
+  if (input.spans != nullptr && !input.spans->empty()) {
+    const auto totals = VcBlameTotalsFromSpans(*input.spans);
+    std::array<int64_t, kNumBlameCodes> overall = {};
+    for (const auto& per_vc : totals) {
+      for (int c = 0; c < kNumBlameCodes; ++c) {
+        overall[static_cast<size_t>(c)] += per_vc[static_cast<size_t>(c)];
+      }
+    }
+    out << "<h2>Why jobs waited (blame attribution)</h2>\n";
+    out << "<table><tr><th>VC</th>";
+    for (int c = 0; c < kNumBlameCodes; ++c) {
+      out << "<th>" << HtmlEscape(ToString(static_cast<BlameCode>(c)))
+          << " (h)</th>";
+    }
+    out << "</tr>\n";
+    const auto hours = [](int64_t seconds) {
+      return Num(static_cast<double>(seconds) / static_cast<double>(Hours(1)));
+    };
+    for (size_t vc = 0; vc < totals.size(); ++vc) {
+      out << "<tr><td>vc " << vc << "</td>";
+      for (int c = 0; c < kNumBlameCodes; ++c) {
+        out << "<td>" << hours(totals[vc][static_cast<size_t>(c)]) << "</td>";
+      }
+      out << "</tr>\n";
+    }
+    out << "<tr><td>all</td>";
+    for (int c = 0; c < kNumBlameCodes; ++c) {
+      out << "<td>" << hours(overall[static_cast<size_t>(c)]) << "</td>";
+    }
+    out << "</tr>\n</table>\n";
+    std::vector<std::pair<std::string, int64_t>> rows;
+    rows.reserve(kNumBlameCodes);
+    for (int c = 0; c < kNumBlameCodes; ++c) {
+      rows.emplace_back(std::string(ToString(static_cast<BlameCode>(c))),
+                        overall[static_cast<size_t>(c)]);
+    }
+    out << "<div class=\"charts\">\n"
+        << BarChartSvg("Attributed waiting seconds by cause", rows) << "</div>\n";
   }
 
   // ---- Fig 3 / Fig 8 analogues from job records ----

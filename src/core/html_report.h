@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/obs/event_log.h"
+#include "src/obs/span.h"
 #include "src/obs/timeseries.h"
 #include "src/sched/records.h"
 
@@ -46,6 +47,8 @@ struct HtmlDashboardInput {
   // Optional: scheduler events (Fig 1 funnel) and job records (Fig 3/8 CDFs).
   const std::vector<SchedEvent>* events = nullptr;
   const std::vector<JobRecord>* jobs = nullptr;
+  // Optional: causal span stream ("Why jobs waited" blame breakdown).
+  const std::vector<SpanRecord>* spans = nullptr;
   // Optional: fleet routing section (phillyctl fleet --html).
   const FleetDashboardSection* fleet = nullptr;
   // Downsampling window for the time-series charts.

@@ -147,13 +147,21 @@ FleetResult FleetSimulation::Run() {
     ev.dest_queue = d.dest_queue;
     ev.dest_free = d.dest_free;
     ev.detail = std::string(ToString(config_.router.policy));
-    routed[static_cast<size_t>(d.dest)].push_back(std::move(job));
     out.clusters[static_cast<size_t>(home)].home_jobs += 1;
     if (d.dest != home) {
       out.spilled_jobs += 1;
       out.clusters[static_cast<size_t>(d.dest)].routed_in += 1;
       out.clusters[static_cast<size_t>(home)].routed_away += 1;
+      if (config_.collect_spans) {
+        // Router blame: the spilled job's pre-evaluation stretch at its
+        // destination is the front door's fault, not backoff. Marked here —
+        // before the destination run starts — so the tracer sees it on the
+        // job's first enqueue. Pinned mode spills nothing, keeping its span
+        // streams byte-identical to standalone runs.
+        out.clusters[static_cast<size_t>(d.dest)].spans.MarkRouterQueued(job.id);
+      }
     }
+    routed[static_cast<size_t>(d.dest)].push_back(std::move(job));
   }
   out.total_jobs = static_cast<int64_t>(total_jobs);
   traces.clear();
@@ -176,6 +184,9 @@ FleetResult FleetSimulation::Run() {
     }
     if (config_.collect_telemetry) {
       sim.obs.timeseries = &cluster.telemetry;
+    }
+    if (config_.collect_spans) {
+      sim.obs.spans = &cluster.spans;
     }
     cluster.result =
         ClusterSimulation(sim, std::move(routed[static_cast<size_t>(i)])).Run();

@@ -28,6 +28,7 @@
 #include "src/fleet/router.h"
 #include "src/obs/event_log.h"
 #include "src/obs/rollup.h"
+#include "src/obs/span.h"
 #include "src/obs/timeseries.h"
 
 namespace philly {
@@ -49,6 +50,10 @@ struct FleetConfig {
   // shares state across the pool's threads.
   bool collect_events = false;
   bool collect_telemetry = false;
+  // Per-cluster causal span streams. Jobs spilled off their home cluster are
+  // marked router-queued at their destination tracer before the run, so the
+  // pre-evaluation stretch of their first wait is blamed on kRouterQueue.
+  bool collect_spans = false;
   SimDuration telemetry_period = Minutes(1);
   SimDuration rollup_window = Hours(1);
 
@@ -68,6 +73,7 @@ struct FleetClusterResult {
   int64_t routed_away = 0;  // homed here, ran elsewhere
   EventLog events;              // scheduler stream (collect_events)
   ClusterTimeSeries telemetry;  // per-minute stream (collect_telemetry)
+  SpanTracer spans;             // causal span stream (collect_spans)
   // Rollup of this cluster's telemetry stream. unique_ptr because
   // TelemetryRollup's histograms are atomics (non-movable).
   std::unique_ptr<TelemetryRollup> rollup;

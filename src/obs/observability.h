@@ -12,6 +12,7 @@
 
 #include "src/obs/event_log.h"
 #include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/obs/timeseries.h"
 #include "src/obs/trace_profiler.h"
 
@@ -29,10 +30,13 @@ struct ObservabilityConfig {
   // Per-minute cluster telemetry stream (one recorder per simulation; not
   // shared across concurrent runs).
   ClusterTimeSeries* timeseries = nullptr;
+  // Per-job causal span stream with blame attribution (one tracer per
+  // simulation; not shared across concurrent runs).
+  SpanTracer* spans = nullptr;
 
   bool enabled() const {
     return event_log != nullptr || metrics != nullptr || profiler != nullptr ||
-           timeseries != nullptr;
+           timeseries != nullptr || spans != nullptr;
   }
 };
 

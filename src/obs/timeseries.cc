@@ -77,6 +77,16 @@ std::vector<int> ReadIntArray(const JsonValue& v, std::string_view key) {
   return out;
 }
 
+std::vector<int64_t> ReadInt64Array(const JsonValue& v, std::string_view key) {
+  std::vector<int64_t> out;
+  const auto& items = v[key].AsArray();
+  out.reserve(items.size());
+  for (const JsonValue& item : items) {
+    out.push_back(static_cast<int64_t>(item.AsNumber()));
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string ToNdjsonLine(const TelemetrySample& s) {
@@ -154,6 +164,10 @@ std::string ToNdjsonLine(const TelemetrySample& s) {
   if (!s.ckpt_rack_writers.empty()) {
     AppendIntArray(out, "ckpt_writers", s.ckpt_rack_writers);
   }
+  // Present only when the span tracer is attached (same byte-identity rule).
+  if (!s.vc_blame_s.empty()) {
+    AppendIntArray(out, "vc_blame_s", s.vc_blame_s);
+  }
   out += '}';
   return out;
 }
@@ -205,6 +219,7 @@ bool TelemetrySampleFromNdjsonLine(std::string_view line, TelemetrySample* sampl
   s.vc_running = ReadIntArray(v, "vc_running");
   s.vc_used_gpus = ReadIntArray(v, "vc_gpus");
   s.ckpt_rack_writers = ReadIntArray(v, "ckpt_writers");
+  s.vc_blame_s = ReadInt64Array(v, "vc_blame_s");
   const std::vector<int> deciles = ReadIntArray(v, "util_deciles");
   for (size_t i = 0; i < s.util_deciles.size() && i < deciles.size(); ++i) {
     s.util_deciles[i] = deciles[i];

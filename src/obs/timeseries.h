@@ -81,6 +81,12 @@ struct TelemetrySample {
   double ckpt_overhead_gpu_seconds = 0.0;
   double ckpt_stall_gpu_seconds = 0.0;
 
+  // Per-VC x per-blame-code cumulative attributed queueing seconds, VC-major
+  // (kNumBlameCodes entries per VC; see src/obs/span.h). Populated only when
+  // the span tracer is attached — empty arrays are omitted from the encoding
+  // so tracer-off streams stay byte-identical to pre-span builds.
+  std::vector<int64_t> vc_blame_s;
+
   // Busy-GPU-weighted utilization, percent.
   double util_expected_pct = 0.0;  // from the loss-curve expectation
   double util_observed_pct = 0.0;  // with the Ganglia AR(1) jitter join

@@ -111,6 +111,9 @@ ClusterSimulation::ClusterSimulation(SimulationConfig config, std::vector<JobSpe
     // otherwise dominate append cost.
     log->Reserve(jobs_.size() * 6);
   }
+  if (SpanTracer* spans = config_.obs.spans; spans != nullptr) {
+    spans->Reserve(jobs_.size());
+  }
   if (MetricsRegistry* metrics = config_.obs.metrics; metrics != nullptr) {
     queue_delay_hist_ = metrics->GetHistogram("sched.queue_delay_minutes");
     fair_share_wait_hist_ = metrics->GetHistogram("sched.wait.fair_share_minutes");
@@ -147,6 +150,36 @@ void ClusterSimulation::RecordEvalFailure(DelayCause cause) {
   }
   (cause == DelayCause::kFairShare ? fair_share_evals_ : fragmentation_evals_)
       ->Increment();
+}
+
+void ClusterSimulation::SpanNoteEvalFail(JobState& job, DelayCause cause) {
+  SpanTracer* spans = config_.obs.spans;
+  if (spans == nullptr) {
+    return;
+  }
+  BlameCode code;
+  if (cause == DelayCause::kFairShare) {
+    code = BlameCode::kFairnessShareCap;
+  } else {
+    // A fragmentation-delayed job is either truly blocked (no placement even
+    // fully relaxed) or holding out for locality at its current relax level.
+    // CanPlace is a pure query on the placement index, so probing it here —
+    // only when the span sink is attached — cannot perturb the run. The probe
+    // is memoized on (cluster allocation version, gpu count): a scheduling
+    // pass fails many evals against an unchanged cluster, and same-sized jobs
+    // share the answer, so most calls are a hash lookup instead of an index
+    // search (keeps the span sink inside the < ~5% observability budget).
+    const int64_t version = cluster_.AllocVersion();
+    auto [it, missed] = span_probe_cache_.try_emplace(job.spec.num_gpus);
+    if (missed || it->second.first != version) {
+      it->second = {version,
+                    placer_.CanPlace(cluster_, job.spec.num_gpus,
+                                     config_.scheduler.max_relax_level)};
+    }
+    code = it->second.second ? BlameCode::kLocalityWait
+                             : BlameCode::kFragmentation;
+  }
+  spans->OnEvalFail(job.spec.id, sim_.Now(), code);
 }
 
 ClusterSimulation::JobState& ClusterSimulation::StateOf(JobId id) {
@@ -250,6 +283,12 @@ void ClusterSimulation::OnArrival(JobId id) {
       e->ready_time = sim_.Now();
       e->detail = "prerun";
     }
+    if (SpanTracer* spans = config_.obs.spans; spans != nullptr) {
+      // Pool attempts skip the queue entirely: open the running span directly
+      // (the zero-length pseudo-wait produces no queued span).
+      spans->OnRunStart(id, job.spec.vc, job.spec.user, job.spec.num_gpus,
+                        sim_.Now(), job.record.attempts.back().index);
+    }
     sim_.ScheduleAfter(duration, [this, id, caught] { OnPrerunEnd(id, caught); });
     return;
   }
@@ -263,6 +302,10 @@ void ClusterSimulation::OnArrival(JobId id) {
   job.relax_emitted = 0;
   EnqueueSorted(job);
   EmitEvent(SchedEventKind::kQueued, &job);
+  if (SpanTracer* spans = config_.obs.spans; spans != nullptr) {
+    spans->OnEnqueue(job.spec.id, job.spec.vc, job.spec.user,
+                     job.spec.num_gpus, sim_.Now(), /*fault_recovery=*/false);
+  }
   RequestSchedulingPass(0);
 }
 
@@ -466,6 +509,7 @@ void ClusterSimulation::SchedulingPass() {
                 : DelayCause::kFragmentation;
         AttributeWaitTime(job, cause);
         RecordEvalFailure(cause);
+        SpanNoteEvalFail(job, cause);
         ++job.eval_failures;
         any_waiting = true;
         earlier_waiting = true;
@@ -542,6 +586,7 @@ bool ClusterSimulation::TryStartJob(JobState& job, bool earlier_job_waiting,
         over_quota ? DelayCause::kFairShare : DelayCause::kFragmentation;
     AttributeWaitTime(job, cause);
     RecordEvalFailure(cause);
+    SpanNoteEvalFail(job, cause);
     ++job.eval_failures;
     return false;
   }
@@ -716,6 +761,12 @@ void ClusterSimulation::StartAttempt(JobState& job, const Placement& placement) 
   attempt.end = now;  // finalized in OnAttemptEnd/PreemptJob
   attempt.placement = placement;
   job.record.attempts.push_back(std::move(attempt));
+
+  if (SpanTracer* spans = config_.obs.spans; spans != nullptr) {
+    spans->OnStart(job.spec.id, job.spec.vc, job.spec.user, job.spec.num_gpus,
+                   now, static_cast<int>(job.record.waits.size()) - 1,
+                   job.record.attempts.back().index);
+  }
 
   const JobId id = job.spec.id;
   job.end_event = sim_.ScheduleAfter(duration, [this, id] { OnAttemptEnd(id); });
@@ -896,6 +947,9 @@ void ClusterSimulation::CkptCompleteWrite(JobState& job) {
       e->delay = stall;
       e->lost_gpu_seconds = static_cast<double>(stall) * gpus;
     }
+    if (SpanTracer* spans = config_.obs.spans; spans != nullptr) {
+      spans->OnCkptStall(job.spec.id, now, stall, "write");
+    }
   }
 }
 
@@ -973,6 +1027,9 @@ void ClusterSimulation::CkptOnAttemptStopped(JobState& job) {
       e->rack = job.ckpt_rack;
       e->delay = elapsed;
       e->detail = "interrupted";
+    }
+    if (SpanTracer* spans = config_.obs.spans; spans != nullptr) {
+      spans->OnCkptStall(job.spec.id, now, stall, "interrupted");
     }
     CkptAdmitWaiters(job.ckpt_rack);
     CkptRescheduleRack(job.ckpt_rack);
@@ -1178,6 +1235,12 @@ void ClusterSimulation::FillTelemetrySample(TelemetrySample& s) {
     s.ckpt_writes = result_.ckpt_writes_completed;
     s.ckpt_overhead_gpu_seconds = result_.ckpt_overhead_gpu_seconds;
     s.ckpt_stall_gpu_seconds = result_.ckpt_stall_gpu_seconds;
+  }
+
+  // Per-VC x per-blame-code attributed seconds, cumulative (left empty — and
+  // omitted from the encoding — unless the span tracer is attached).
+  if (SpanTracer* spans = config_.obs.spans; spans != nullptr) {
+    spans->FillVcBlame(s.vc_blame_s);
   }
 }
 
@@ -1497,6 +1560,26 @@ void ClusterSimulation::Requeue(JobState& job) {
       e->machine_fault = attempt.machine_fault;
     }
   }
+  if (SpanTracer* spans = config_.obs.spans; spans != nullptr) {
+    std::string_view reason = "suspend";
+    bool fault_recovery = false;
+    if (!job.record.attempts.empty()) {
+      const AttemptRecord& attempt = job.record.attempts.back();
+      if (attempt.machine_fault) {
+        reason = "fault";
+        fault_recovery = true;
+      } else if (attempt.preempted) {
+        reason = "preempt";
+      } else if (attempt.failed) {
+        reason = "fail";
+      } else if (attempt.prerun) {
+        reason = "prerun";
+      }
+    }
+    spans->OnRunEnd(job.spec.id, sim_.Now(), reason);
+    spans->OnEnqueue(job.spec.id, job.spec.vc, job.spec.user,
+                     job.spec.num_gpus, sim_.Now(), fault_recovery);
+  }
 }
 
 void ClusterSimulation::FinishJob(JobState& job, JobStatus status) {
@@ -1504,6 +1587,14 @@ void ClusterSimulation::FinishJob(JobState& job, JobStatus status) {
   job.record.status = status;
   job.record.finish_time = sim_.Now();
   ++jobs_done_;
+  if (SpanTracer* spans = config_.obs.spans; spans != nullptr) {
+    const std::string_view reason = status == JobStatus::kPassed ? "passed"
+                                    : status == JobStatus::kKilled
+                                        ? "killed"
+                                        : "unsuccessful";
+    // No-op for jobs rejected at submission (no running span was opened).
+    spans->OnRunEnd(job.spec.id, sim_.Now(), reason);
+  }
   if (SchedEvent* e = EmitEvent(SchedEventKind::kComplete, &job); e != nullptr) {
     e->status = static_cast<int>(status);
     if (!job.record.attempts.empty()) {

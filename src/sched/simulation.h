@@ -252,6 +252,15 @@ class ClusterSimulation {
   // when event logging is off so hot paths skip payload construction.
   SchedEvent* EmitEvent(SchedEventKind kind, const JobState* job);
   void RecordEvalFailure(DelayCause cause);
+  // Span-sink refinement of a failed evaluation: maps the native two-way
+  // DelayCause onto the span blame vocabulary (kFairShare ->
+  // kFairnessShareCap; kFragmentation -> kLocalityWait when a fully-relaxed
+  // placement existed, else kFragmentation). No-op when the sink is null.
+  void SpanNoteEvalFail(JobState& job, DelayCause cause);
+
+  // SpanNoteEvalFail's memoized CanPlace probes: gpu count -> (cluster
+  // allocation version, feasible). Touched only with the span sink attached.
+  std::unordered_map<int, std::pair<int64_t, bool>> span_probe_cache_;
 
   SimulationConfig config_;
   Simulator sim_;

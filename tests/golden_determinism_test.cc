@@ -24,8 +24,10 @@
 #include "src/common/table.h"
 #include "src/fault/fault_process.h"
 #include "src/fleet/fleet.h"
+#include "src/core/span_analysis.h"
 #include "src/obs/event_log.h"
 #include "src/obs/rollup.h"
+#include "src/obs/span.h"
 #include "src/obs/timeseries.h"
 
 namespace philly {
@@ -243,6 +245,28 @@ TEST(GoldenDeterminismTest, FaultEnabledStreamsMatchCommittedGolden) {
   std::ostringstream stream;
   timeseries.WriteNdjson(stream, &digest);
   CompareOrUpdate("telemetry_fault.ndjson", stream.str());
+}
+
+// Span-stream golden: the fault-enabled config with the causal span tracer
+// attached must reproduce the committed NDJSON byte for byte. This pins the
+// whole attribution pipeline — enqueue/eval-fail/start hook order, blame
+// refinement (fair-share cap vs fragmentation vs locality-wait), coalescing,
+// requeue reasons, and checkpoint-stall spans — and doubles as a conservation
+// check against the native records before comparing bytes.
+TEST(GoldenDeterminismTest, SpanStreamMatchesCommittedGolden) {
+  SpanTracer spans;
+  ExperimentConfig config = FaultGoldenConfig();
+  config.simulation.obs.spans = &spans;
+  const ExperimentRun run = RunExperiment(config);
+
+  std::string error;
+  ASSERT_TRUE(
+      VerifyBlameConservation(spans.log().spans(), run.result.jobs, &error))
+      << error;
+
+  std::ostringstream stream;
+  spans.log().WriteNdjson(stream);
+  CompareOrUpdate("spans.ndjson", stream.str());
 }
 
 // Fleet golden: a three-cluster fleet on a compressed horizon under the

@@ -15,6 +15,16 @@
 //       alone and verify them against the digest the writer embedded (exact,
 //       bitwise). With --trace, also recompute the job-derived half from the
 //       native trace and fail on any divergence.
+//   phillyctl analyze --from-events FILE --spans FILE
+//       Additionally verify the causal span stream: the blame-conservation
+//       identity against the event-rebuilt job records (every attributed
+//       interval sums exactly to the measured queueing delay), then rebuild
+//       Table 2 from the attributed spans alone and cross-check it against
+//       the native analysis, failing on any divergence.
+//   phillyctl explain --job ID --spans FILE
+//       Print the causal timeline of one job — when it queued, what each
+//       stretch of waiting was blamed on, when it ran, why each attempt
+//       ended — reconstructed from the span stream alone.
 //   phillyctl report [--days N] [--seed S] [options]
 //       Run a simulation and print the full analysis without writing files.
 //   phillyctl sweep [--days N] [--seeds S1,S2,...] [--schedulers a,b,...]
@@ -65,13 +75,26 @@
 //                          JSON (load in ui.perfetto.dev or chrome://tracing)
 //     --telemetry-out FILE write the per-minute cluster telemetry stream as
 //                          NDJSON with a trailing integrity digest line
+//     --spans-out FILE     write the causal span stream (queued/blame/running/
+//                          ckpt spans, docs/observability.md) as NDJSON
+//     --spans-trace-out FILE  write the span tree as Chrome trace-event JSON
+//                          (load in ui.perfetto.dev or chrome://tracing)
 //     --html FILE          render a self-contained HTML dashboard (inline SVG,
-//                          no external assets) from the run's log streams
-//   Input options (analyze):
+//                          no external assets) from the run's log streams;
+//                          includes a "Why jobs waited" section when a span
+//                          sink is attached (--spans-out / --spans-trace-out)
+//   Input options (analyze / explain):
 //     --philly-traces     treat --trace as the public-release layout and
 //                         parse cluster_job_log (telemetry analyses skipped)
 //     --from-events FILE  analyze an NDJSON scheduler event log
 //     --telemetry FILE    verify and summarize an NDJSON telemetry stream
+//     --spans FILE        an NDJSON causal span stream (with analyze
+//                         --from-events: verify + cross-check; with explain:
+//                         the stream to reconstruct the timeline from)
+//   Fleet options (fleet):
+//     --collect-spans     collect per-cluster span streams; with --out each
+//                         is written as <cluster>.spans.ndjson, and --html
+//                         gains the "Why jobs waited" section
 
 #include <cerrno>
 #include <cmath>
@@ -94,6 +117,7 @@
 #include "src/core/html_report.h"
 #include "src/core/runner.h"
 #include "src/core/report.h"
+#include "src/core/span_analysis.h"
 #include "src/core/validate.h"
 #include "src/fault/checkpoint_io.h"
 #include "src/fleet/fleet.h"
@@ -103,6 +127,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/observability.h"
 #include "src/obs/rollup.h"
+#include "src/obs/span.h"
 #include "src/obs/timeseries.h"
 #include "src/obs/trace_profiler.h"
 #include "src/trace/philly_format.h"
@@ -142,6 +167,8 @@ Args Parse(int argc, char** argv) {
                                      "--metrics-out", "--trace-out",
                                      "--from-events", "--telemetry-out",
                                      "--telemetry", "--html",
+                                     "--spans-out", "--spans-trace-out",
+                                     "--spans", "--job",
                                      "--clusters", "--router",
                                      "--spill-threshold"};
   for (int i = 2; i < argc; ++i) {
@@ -164,7 +191,7 @@ Args Parse(int argc, char** argv) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: phillyctl <simulate|analyze|report|sweep|fleet> "
+               "usage: phillyctl <simulate|analyze|report|sweep|fleet|explain> "
                "[options]\n"
                "see the header of tools/phillyctl.cc or README.md for the "
                "option list\n");
@@ -562,10 +589,13 @@ int RunSimulateOrReport(const Args& args, bool write_output) {
   MetricsRegistry metrics;
   TraceProfiler profiler;
   ClusterTimeSeries timeseries;
+  SpanTracer spans;
   const std::string events_out = args.Get("--events-out", "");
   const std::string metrics_out = args.Get("--metrics-out", "");
   const std::string trace_out = args.Get("--trace-out", "");
   const std::string telemetry_out = args.Get("--telemetry-out", "");
+  const std::string spans_out = args.Get("--spans-out", "");
+  const std::string spans_trace_out = args.Get("--spans-trace-out", "");
   const std::string html_out = args.Get("--html", "");
   // The dashboard joins the telemetry and scheduler streams, so --html
   // implies both recorders even when their files were not asked for.
@@ -580,6 +610,13 @@ int RunSimulateOrReport(const Args& args, bool write_output) {
   }
   if (!telemetry_out.empty() || !html_out.empty()) {
     config.simulation.obs.timeseries = &timeseries;
+  }
+  // The span tracer attaches only on explicit request: with it attached the
+  // telemetry stream grows per-VC blame columns, so quietly enabling it for
+  // --html would change --telemetry-out bytes for users who never asked for
+  // attribution.
+  if (!spans_out.empty() || !spans_trace_out.empty()) {
+    config.simulation.obs.spans = &spans;
   }
 
   std::printf("simulating %d days (seed %d, scheduler %s)...\n",
@@ -663,6 +700,24 @@ int RunSimulateOrReport(const Args& args, bool write_output) {
     std::printf("%zu telemetry samples written to %s\n",
                 timeseries.samples().size(), telemetry_out.c_str());
   }
+  if (!spans_out.empty()) {
+    if (!WriteObsFile(spans_out, "span stream", "spans", &manifest,
+                      [&](std::ostream& out) { spans.log().WriteNdjson(out); })) {
+      return 1;
+    }
+    std::printf("%zu causal spans written to %s\n", spans.log().spans().size(),
+                spans_out.c_str());
+  }
+  if (!spans_trace_out.empty()) {
+    if (!WriteObsFile(spans_trace_out, "span trace", "spans-trace", &manifest,
+                      [&](std::ostream& out) {
+                        WriteSpanChromeTrace(out, spans.log().spans());
+                      })) {
+      return 1;
+    }
+    std::printf("span trace written to %s (open in ui.perfetto.dev)\n",
+                spans_trace_out.c_str());
+  }
   if (!html_out.empty()) {
     HtmlDashboardInput dashboard;
     dashboard.title = "philly " + config.simulation.scheduler.name + " seed " +
@@ -671,6 +726,9 @@ int RunSimulateOrReport(const Args& args, bool write_output) {
     dashboard.samples = &timeseries.samples();
     dashboard.events = &event_log.events();
     dashboard.jobs = &run.result.jobs;
+    if (config.simulation.obs.spans != nullptr) {
+      dashboard.spans = &spans.log().spans();
+    }
     if (!WriteObsFile(html_out, "dashboard", "dashboard", &manifest,
                       [&](std::ostream& out) {
                         out << RenderHtmlDashboard(dashboard);
@@ -785,6 +843,46 @@ int RunAnalyzeFromEvents(const Args& args) {
   std::printf("rebuilt %zu jobs from %zu scheduler events in %s\n\n",
               joined.jobs.size(), events.size(), path.c_str());
   PrintEventReport(joined);
+
+  const std::string spans_path = args.Get("--spans", "");
+  if (!spans_path.empty()) {
+    std::ifstream spans_in(spans_path);
+    if (!spans_in) {
+      std::fprintf(stderr, "cannot open span stream %s\n", spans_path.c_str());
+      return 1;
+    }
+    const std::vector<SpanRecord> spans =
+        SpanLog::ReadNdjson(spans_in, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "failed to parse %s: %s\n", spans_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    // First the conservation identity: every second a job measurably waited
+    // is attributed to exactly one blame span, and the fairness/fragmentation
+    // subtotals match the native per-wait attribution.
+    if (!VerifyBlameConservation(spans, joined.jobs, &error)) {
+      std::fprintf(stderr, "blame-conservation check failed for %s: %s\n",
+                   spans_path.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("blame conservation verified: %zu spans account for every "
+                "waited second of %zu jobs\n",
+                spans.size(), joined.jobs.size());
+    // Then Table 2 rebuilt from the attributed spans alone must equal the
+    // native analysis, exactly.
+    const DelayCauseResult native = AnalyzeDelayCauses(joined.jobs, nullptr);
+    const DelayCauseResult from_spans = DelayCausesFromSpans(spans);
+    if (!CrossCheckDelayCauses(native, from_spans, &error)) {
+      std::fprintf(stderr,
+                   "span-rebuilt Table 2 disagrees with the native analysis: "
+                   "%s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::printf("cross-check passed: Table 2 rebuilt from attributed spans "
+                "matches the native analysis\n");
+  }
 
   const std::string dir = args.Get("--trace", "");
   if (!dir.empty()) {
@@ -1137,10 +1235,12 @@ int RunFleet(const Args& args) {
 
   const int days = args.GetInt("--days", 3);
   const uint64_t seed = static_cast<uint64_t>(args.GetInt("--seed", 42));
+  const bool collect_spans = args.Has("--collect-spans");
   FleetConfig config;
   config.router = router;
   config.collect_events = true;
   config.collect_telemetry = true;
+  config.collect_spans = collect_spans;
   config.threads = args.GetInt("--threads", 0);
   for (size_t i = 0; i < cluster_configs.size(); ++i) {
     config.clusters.push_back(
@@ -1208,6 +1308,9 @@ int RunFleet(const Args& args) {
   if (router.policy == RouterPolicy::kSpillover) {
     manifest.knobs["spill-threshold"] = std::to_string(router.spill_threshold);
   }
+  if (collect_spans) {
+    manifest.knobs["collect-spans"] = "on";
+  }
 
   const std::string out_dir = args.Get("--out", "");
   if (!out_dir.empty()) {
@@ -1243,6 +1346,15 @@ int RunFleet(const Args& args) {
                         })) {
         return 1;
       }
+      if (collect_spans) {
+        if (!WriteObsFile(base + ".spans.ndjson", "span stream",
+                          (cluster.name + "-spans").c_str(), &manifest,
+                          [&](std::ostream& out) {
+                            cluster.spans.log().WriteNdjson(out);
+                          })) {
+          return 1;
+        }
+      }
     }
     std::printf("fleet streams written to %s/\n", out_dir.c_str());
   }
@@ -1254,6 +1366,7 @@ int RunFleet(const Args& args) {
     std::vector<TelemetrySample> all_samples;
     std::vector<SchedEvent> all_events;
     std::vector<JobRecord> all_jobs;
+    std::vector<SpanRecord> all_spans;
     for (const FleetClusterResult& cluster : result.clusters) {
       all_samples.insert(all_samples.end(), cluster.telemetry.samples().begin(),
                          cluster.telemetry.samples().end());
@@ -1261,6 +1374,8 @@ int RunFleet(const Args& args) {
                         cluster.events.events().end());
       all_jobs.insert(all_jobs.end(), cluster.result.jobs.begin(),
                       cluster.result.jobs.end());
+      all_spans.insert(all_spans.end(), cluster.spans.log().spans().begin(),
+                       cluster.spans.log().spans().end());
     }
     all_events.insert(all_events.end(), result.route_events.events().begin(),
                       result.route_events.events().end());
@@ -1271,6 +1386,9 @@ int RunFleet(const Args& args) {
     dashboard.samples = &all_samples;
     dashboard.events = &all_events;
     dashboard.jobs = &all_jobs;
+    if (collect_spans) {
+      dashboard.spans = &all_spans;
+    }
     dashboard.fleet = &section;
     if (!WriteObsFile(html_out, "dashboard", "dashboard", &manifest,
                       [&](std::ostream& out) {
@@ -1289,6 +1407,51 @@ int RunFleet(const Args& args) {
     }
     std::printf("manifest written to %s\n", manifest_path.c_str());
   }
+  return 0;
+}
+
+// `explain --job ID --spans FILE`: reconstruct one job's causal timeline from
+// the span stream alone. Both inputs are strictly validated — a malformed job
+// id, an unreadable or unparseable stream, or a job with no spans all exit 1
+// with a message naming exactly what was wrong.
+int RunExplain(const Args& args) {
+  if (args.values.count("--job") == 0) {
+    std::fprintf(stderr, "explain requires --job ID\n");
+    return 1;
+  }
+  const std::string job_text = args.Get("--job", "");
+  long job_id = 0;
+  if (!ParseStrictLong(job_text, &job_id) || job_id <= 0) {
+    std::fprintf(stderr,
+                 "--job '%s' is invalid: expected a positive integer job id\n",
+                 job_text.c_str());
+    return 1;
+  }
+  if (args.values.count("--spans") == 0) {
+    std::fprintf(stderr, "explain requires --spans FILE\n");
+    return 1;
+  }
+  const std::string path = args.Get("--spans", "");
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open span stream %s\n", path.c_str());
+    return 1;
+  }
+  std::string error;
+  const std::vector<SpanRecord> spans = SpanLog::ReadNdjson(in, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "failed to parse %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const std::string timeline =
+      RenderJobExplanation(static_cast<JobId>(job_id), spans);
+  if (timeline.empty()) {
+    std::fprintf(stderr, "no spans for job %ld in %s (%zu spans read)\n",
+                 job_id, path.c_str(), spans.size());
+    return 1;
+  }
+  std::printf("%s", timeline.c_str());
   return 0;
 }
 
@@ -1311,6 +1474,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "fleet") {
     return philly::RunFleet(args);
+  }
+  if (args.command == "explain") {
+    return philly::RunExplain(args);
   }
   return philly::Usage();
 }
